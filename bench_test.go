@@ -1,0 +1,86 @@
+package cuckoodir
+
+// One benchmark per table and figure of the paper's evaluation, as
+// required by the reproduction harness: `go test -bench=.` regenerates
+// every artifact at Quick scale and reports wall time per run. The
+// rendered tables land in benchmark logs via b.Log at -v; use
+// cmd/cuckoodir for human-readable output, and -scale full (or FullScale
+// here) for the paper-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"cuckoodir/internal/exp"
+)
+
+// benchExperiment runs one experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(exp.Options{Scale: exp.Quick, Seed: uint64(i)})
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkTable2Workloads(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkFig4Scaling(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFig7Characteristics(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8Occupancy(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig9Provisioning(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig10Attempts(b *testing.B)       { benchExperiment(b, "fig10") }
+func BenchmarkFig11Worstcase(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12Invalidations(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13Comparison(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkEventMix(b *testing.B)            { benchExperiment(b, "mix") }
+func BenchmarkHashSelection(b *testing.B)       { benchExperiment(b, "hashes") }
+func BenchmarkAblations(b *testing.B)           { benchExperiment(b, "ablation") }
+func BenchmarkSharerFormats(b *testing.B)       { benchExperiment(b, "formats") }
+func BenchmarkAnalyticModels(b *testing.B)      { benchExperiment(b, "analytic") }
+func BenchmarkProtocolLatency(b *testing.B)     { benchExperiment(b, "latency") }
+
+// Micro-benchmarks on the public API's hot paths.
+
+func BenchmarkCuckooDirectoryRead(b *testing.B) {
+	dir := NewCuckooDirectory(CuckooConfig{Ways: 4, SetsPerWay: 512}, 32)
+	for i := uint64(0); i < 1024; i++ {
+		dir.Read(i, int(i)%32)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir.Read(uint64(i)&1023, i&31)
+	}
+}
+
+func BenchmarkCuckooDirectoryChurn(b *testing.B) {
+	dir := NewCuckooDirectory(CuckooConfig{Ways: 4, SetsPerWay: 512}, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i*2654435761) & 4095
+		dir.Read(addr, i&31)
+		if i&3 == 3 {
+			dir.Evict(addr, i&31)
+		}
+	}
+}
+
+func BenchmarkCuckooTableInsertDelete(b *testing.B) {
+	t := NewCuckooTable[uint64](TableConfig{Ways: 4, SetsPerWay: 1 << 13})
+	keys := make([]uint64, t.Capacity()/2)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+		t.Insert(keys[i], 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		t.Delete(k)
+		t.Insert(k, uint64(i))
+	}
+}

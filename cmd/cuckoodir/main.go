@@ -1,0 +1,198 @@
+// Command cuckoodir regenerates the tables and figures of the paper
+// "Cuckoo Directory: A Scalable Directory for Many-Core Systems"
+// (HPCA 2011).
+//
+// Usage:
+//
+//	cuckoodir list                  # show available experiments
+//	cuckoodir run [flags] <id>...   # run selected experiments
+//	cuckoodir all [flags]           # run the whole suite
+//
+// Flags:
+//
+//	-scale quick|full   measurement scale (default quick)
+//	-seed N             simulation seed (default 0)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cuckoodir/internal/cmpsim"
+	"cuckoodir/internal/exp"
+	"cuckoodir/internal/trace"
+	"cuckoodir/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cuckoodir:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("no command given")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "quick", "measurement scale: quick or full")
+	seedFlag := fs.Uint64("seed", 0, "simulation seed")
+
+	switch cmd {
+	case "list":
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s  %s\n", e.ID, e.Title)
+		}
+		return nil
+	case "trace":
+		return traceCmd(rest)
+	case "run", "all":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := parseOptions(*scaleFlag, *seedFlag)
+		if err != nil {
+			return err
+		}
+		ids := fs.Args()
+		if cmd == "all" {
+			if len(ids) != 0 {
+				return fmt.Errorf("`all` takes no experiment ids")
+			}
+			ids = exp.IDs()
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("`run` needs at least one experiment id (see `list`)")
+		}
+		return runExperiments(ids, opts)
+	case "-h", "--help", "help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseOptions(scale string, seed uint64) (exp.Options, error) {
+	o := exp.Options{Seed: seed}
+	switch scale {
+	case "quick":
+		o.Scale = exp.Quick
+	case "full":
+		o.Scale = exp.Full
+	default:
+		return o, fmt.Errorf("unknown scale %q (want quick or full)", scale)
+	}
+	return o, nil
+}
+
+func runExperiments(ids []string, o exp.Options) error {
+	for _, id := range ids {
+		e, err := exp.ByID(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("### %s — %s [scale=%s]\n", e.ID, e.Title, o.Scale)
+		fmt.Printf("paper: %s\n\n", e.Expect)
+		start := time.Now()
+		for _, tbl := range e.Run(o) {
+			if _, err := tbl.WriteTo(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// traceCmd implements `cuckoodir trace record|replay`.
+func traceCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("trace needs a subcommand: record or replay")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("trace "+sub, flag.ContinueOnError)
+	file := fs.String("file", "", "trace file path")
+	wl := fs.String("workload", "oracle", "workload to capture")
+	n := fs.Int("n", 1_000_000, "accesses to capture")
+	seed := fs.Uint64("seed", 0, "capture seed")
+	kind := fs.String("config", "shared", "replay configuration: shared or private")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("trace: -file is required")
+	}
+	switch sub {
+	case "record":
+		prof, err := workload.ByName(*wl)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		count, err := trace.Capture(f, prof, 16, *seed, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d accesses of %s to %s\n", count, *wl, *file)
+		return f.Close()
+	case "replay":
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		cfgKind := cmpsim.SharedL2
+		if *kind == "private" {
+			cfgKind = cmpsim.PrivateL2
+		} else if *kind != "shared" {
+			return fmt.Errorf("trace: unknown -config %q", *kind)
+		}
+		cfg := cmpsim.DefaultConfig(cfgKind)
+		prof, err := workload.ByName(*wl)
+		if err != nil {
+			return err
+		}
+		sys := cmpsim.New(cfg, prof, 0, cmpsim.CuckooFactory(cmpsim.ChosenCuckooSize(cfgKind), nil))
+		count, err := trace.Replay(rd, sys)
+		if err != nil {
+			return err
+		}
+		ds := sys.DirStats()
+		fmt.Printf("replayed %d accesses: %.2f avg insertion attempts, %d forced invalidations, occupancy %.1f%%\n",
+			count, ds.Attempts.Mean(), ds.ForcedEvictions, sys.MeanOccupancy()*100)
+		return nil
+	default:
+		return fmt.Errorf("trace: unknown subcommand %q", sub)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  cuckoodir list                  show available experiments
+  cuckoodir run [flags] <id>...   run selected experiments
+  cuckoodir all [flags]           run the whole suite
+  cuckoodir trace record -file F [-workload W] [-n N] [-seed S]
+  cuckoodir trace replay -file F [-config shared|private] [-workload W]
+
+flags (run/all):
+  -scale quick|full   measurement scale (default quick)
+  -seed N             simulation seed (default 0)
+`)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"cuckoodir/internal/exp"
+)
+
+func TestParseOptions(t *testing.T) {
+	o, err := parseOptions("quick", 5)
+	if err != nil || o.Scale != exp.Quick || o.Seed != 5 {
+		t.Fatalf("quick: %+v, %v", o, err)
+	}
+	o, err = parseOptions("full", 0)
+	if err != nil || o.Scale != exp.Full {
+		t.Fatalf("full: %+v, %v", o, err)
+	}
+	if _, err := parseOptions("bogus", 0); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}
+
+func TestRunCommandValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no command should error")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown command should error")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Error("run without ids should error")
+	}
+	if err := run([]string{"run", "not-an-experiment"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"all", "fig7"}); err == nil {
+		t.Error("all with ids should error")
+	}
+	if err := run([]string{"run", "-scale", "nope", "fig7"}); err == nil {
+		t.Error("bad scale should error")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+	if err := run([]string{"list"}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+}
+
+func TestRunFastExperiment(t *testing.T) {
+	if err := run([]string{"run", "table1", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+// Package cuckoodir is a from-scratch reproduction of the system described
+// in "Cuckoo Directory: A Scalable Directory for Many-Core Systems"
+// (Ferdman, Lotfi-Kamran, Balet, Falsafi — HPCA 2011).
+//
+// The package exposes four layers:
+//
+//   - The Cuckoo directory itself (NewCuckooDirectory) and the underlying
+//     d-ary cuckoo hash table (NewCuckooTable) — the paper's contribution.
+//   - Every competing directory organization the paper evaluates
+//     (NewSparseDirectory, NewSkewedDirectory, NewDuplicateTagDirectory,
+//     NewTaglessDirectory, NewInCacheDirectory, NewIdealDirectory), all
+//     behind the same Directory interface.
+//   - The evaluation platform: a functional 16-core tiled-CMP simulator
+//     (NewSystem) with the paper's Shared-L2 and Private-L2
+//     configurations and Table 2's workload suite (Workloads), plus an
+//     event-driven MESI protocol simulator (internal/coherence, reachable
+//     through the "latency" experiment).
+//   - The experiment harness: RunExperiment regenerates any table or
+//     figure of the paper's evaluation (Experiments lists them).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for a full
+// recorded run against the paper's results.
+package cuckoodir
+
+import (
+	"io"
+
+	"cuckoodir/internal/cmpsim"
+	"cuckoodir/internal/coherence"
+	"cuckoodir/internal/core"
+	"cuckoodir/internal/directory"
+	"cuckoodir/internal/exp"
+	"cuckoodir/internal/hashfn"
+	"cuckoodir/internal/sharer"
+	"cuckoodir/internal/stats"
+	"cuckoodir/internal/trace"
+	"cuckoodir/internal/workload"
+)
+
+// Directory is the common interface of every directory organization. See
+// the package documentation of internal/directory for the operation
+// protocol (Read/Write/Evict driven by private-cache events).
+type Directory = directory.Directory
+
+// Op is the outcome of a directory Read or Write.
+type Op = directory.Op
+
+// Forced describes a directory-initiated eviction.
+type Forced = directory.Forced
+
+// DirectoryStats is the per-directory statistics record (event mix,
+// insertion-attempt histogram, forced invalidations, occupancy).
+type DirectoryStats = directory.Stats
+
+// Table is an aligned text table produced by experiments.
+type Table = stats.Table
+
+// TableConfig configures a d-ary cuckoo hash table.
+type TableConfig = core.Config
+
+// CuckooEntry is a key/value pair stored in a cuckoo table.
+type CuckooEntry[V any] = core.Entry[V]
+
+// InsertResult reports the outcome of a cuckoo table insertion.
+type InsertResult[V any] = core.Result[V]
+
+// NewCuckooTable builds a standalone d-ary cuckoo hash table (the
+// structure of paper §4.1, usable independently of coherence).
+func NewCuckooTable[V any](cfg TableConfig) *core.Table[V] {
+	return core.NewTable[V](cfg)
+}
+
+// CuckooConfig sizes a Cuckoo directory slice.
+type CuckooConfig struct {
+	// Ways is d (the paper selects 3 or 4); SetsPerWay the per-way set
+	// count (capacity = Ways*SetsPerWay).
+	Ways       int
+	SetsPerWay int
+	// MaxAttempts bounds the displacement chain (default 32, §5.2).
+	MaxAttempts int
+	// StrongHash selects avalanche-grade hashing instead of the default
+	// Seznec-Bodin skewing family (§5.5).
+	StrongHash bool
+	// BucketSize > 1 enables the Panigrahy bucketized ablation; StashSize
+	// > 0 adds a victim stash (Kirsch et al.).
+	BucketSize int
+	StashSize  int
+}
+
+// NewCuckooDirectory builds a Cuckoo directory slice tracking numCaches
+// private caches (at most 64).
+func NewCuckooDirectory(cfg CuckooConfig, numCaches int) Directory {
+	var fam hashfn.Family
+	if cfg.StrongHash {
+		fam = hashfn.Strong{}
+	}
+	return directory.NewCuckoo(core.DirConfig{
+		Table: core.Config{
+			Ways:        cfg.Ways,
+			SetsPerWay:  cfg.SetsPerWay,
+			MaxAttempts: cfg.MaxAttempts,
+			BucketSize:  cfg.BucketSize,
+			StashSize:   cfg.StashSize,
+			Hash:        fam,
+		},
+		NumCaches: numCaches,
+	})
+}
+
+// SharerFormat is a pluggable sharer-set representation (full vector,
+// coarse, limited pointers, hierarchical).
+type SharerFormat = sharer.Format
+
+// Sharer-set formats for NewFormattedCuckooDirectory.
+func FullVectorFormat() SharerFormat          { return sharer.FullFormat() }
+func CoarseVectorFormat() SharerFormat        { return sharer.CoarseFormat() }
+func LimitedPointerFormat(p int) SharerFormat { return sharer.LimitedFormat(p) }
+func HierarchicalFormat() SharerFormat        { return sharer.HierFormat() }
+
+// FormattedCuckooDirectory is a Cuckoo directory with format-pluggable
+// entries; it additionally reports the spurious invalidations and
+// dead-entry residency its compressed format costs.
+type FormattedCuckooDirectory = directory.FormattedCuckoo
+
+// NewFormattedCuckooDirectory builds a Cuckoo directory slice whose
+// entries use the given sharer-set format — the paper's §6 point that the
+// Cuckoo organization composes with any entry-compression technique.
+func NewFormattedCuckooDirectory(cfg CuckooConfig, format SharerFormat, numCaches int) *FormattedCuckooDirectory {
+	var fam hashfn.Family
+	if cfg.StrongHash {
+		fam = hashfn.Strong{}
+	}
+	return directory.NewFormattedCuckoo(core.Config{
+		Ways:        cfg.Ways,
+		SetsPerWay:  cfg.SetsPerWay,
+		MaxAttempts: cfg.MaxAttempts,
+		BucketSize:  cfg.BucketSize,
+		StashSize:   cfg.StashSize,
+		Hash:        fam,
+	}, format, numCaches)
+}
+
+// NewSparseDirectory builds a classic set-associative Sparse directory
+// slice (Gupta et al.).
+func NewSparseDirectory(ways, sets, numCaches int) Directory {
+	return directory.NewSparse(ways, sets, numCaches)
+}
+
+// NewSkewedDirectory builds a skewed-associative directory slice (Seznec).
+func NewSkewedDirectory(ways, sets, numCaches int) Directory {
+	return directory.NewSkewed(ways, sets, numCaches)
+}
+
+// NewElbowDirectory builds an Elbow-cache directory slice (Spjuth et al.):
+// skewed-associative with at most one displacement per insertion —
+// between Skewed and Cuckoo in conflict behaviour (paper §6).
+func NewElbowDirectory(ways, sets, numCaches int) Directory {
+	return directory.NewElbow(ways, sets, numCaches)
+}
+
+// NewDuplicateTagDirectory builds a Duplicate-Tag directory slice
+// mirroring caches of the given geometry (Piranha).
+func NewDuplicateTagDirectory(numCaches, cacheSets, cacheAssoc int) Directory {
+	return directory.NewDuplicateTag(numCaches, cacheSets, cacheAssoc)
+}
+
+// NewTaglessDirectory builds a Tagless (Bloom-filter grid) directory slice
+// (Zebchuk et al.).
+func NewTaglessDirectory(numCaches, sets, bucketBits, hashes int) Directory {
+	return directory.NewTagless(numCaches, sets, bucketBits, hashes)
+}
+
+// NewInCacheDirectory builds an inclusive in-cache directory slice.
+func NewInCacheDirectory(numCaches, l2Frames int) Directory {
+	return directory.NewInCache(numCaches, l2Frames)
+}
+
+// NewIdealDirectory builds the unbounded exact reference directory.
+// nominalCapacity (optional, 0 to disable) is the capacity against which
+// occupancy is reported.
+func NewIdealDirectory(numCaches, nominalCapacity int) Directory {
+	return directory.NewIdeal(numCaches, nominalCapacity)
+}
+
+// ---- evaluation platform ----
+
+// SystemKind selects the tracked cache hierarchy.
+type SystemKind = cmpsim.Kind
+
+// System configurations of §5 (Table 1).
+const (
+	// SharedL2 tracks split I/D 64KB L1s under a shared NUCA L2.
+	SharedL2 = cmpsim.SharedL2
+	// PrivateL2 tracks 1MB private L2s.
+	PrivateL2 = cmpsim.PrivateL2
+)
+
+// SystemConfig is the CMP configuration (Table 1).
+type SystemConfig = cmpsim.Config
+
+// System is the functional tiled-CMP simulator.
+type System = cmpsim.System
+
+// DirectoryFactory builds one directory slice for a simulated system.
+type DirectoryFactory = cmpsim.DirectoryFactory
+
+// CuckooSize is a "(ways) x (sets)" Cuckoo geometry.
+type CuckooSize = cmpsim.CuckooSize
+
+// DefaultSystemConfig returns the paper's 16-core configuration for the
+// given kind.
+func DefaultSystemConfig(kind SystemKind) SystemConfig {
+	return cmpsim.DefaultConfig(kind)
+}
+
+// NewSystem builds a functional simulation of the given workload on cfg,
+// with directory slices built by factory.
+func NewSystem(cfg SystemConfig, prof Workload, seed uint64, factory DirectoryFactory) *System {
+	return cmpsim.New(cfg, prof, seed, factory)
+}
+
+// CuckooSlices returns a factory building Cuckoo slices of the given
+// geometry (nil hash family = the paper's skewing functions).
+func CuckooSlices(size CuckooSize) DirectoryFactory {
+	return cmpsim.CuckooFactory(size, nil)
+}
+
+// IdealSlices returns a factory building exact reference slices with 1x
+// occupancy reporting.
+func IdealSlices(cfg SystemConfig) DirectoryFactory {
+	return cmpsim.IdealFactory(cfg)
+}
+
+// SparseSlices returns a factory building Sparse slices at the given
+// associativity and provisioning factor.
+func SparseSlices(cfg SystemConfig, assoc int, factor float64) DirectoryFactory {
+	return cmpsim.SparseFactory(cfg, assoc, factor)
+}
+
+// ChosenCuckooSize returns the geometry §5.2 selects: 4x512 for Shared-L2,
+// 3x8192 for Private-L2.
+func ChosenCuckooSize(kind SystemKind) CuckooSize {
+	return cmpsim.ChosenCuckooSize(kind)
+}
+
+// ---- event-driven protocol simulator ----
+
+// ProtocolConfig parameterizes the event-driven MESI protocol system
+// (cores, cache geometry, mesh, latencies).
+type ProtocolConfig = coherence.Config
+
+// ProtocolSystem is the event-driven MESI directory protocol simulation
+// used for the timing-facing experiments (§4.2).
+type ProtocolSystem = coherence.System
+
+// ProtocolFactory builds one directory slice for a protocol system.
+type ProtocolFactory = coherence.Factory
+
+// DefaultProtocolConfig returns a 16-core Private-L2-style system on a
+// 4x4 mesh with period-typical latencies.
+func DefaultProtocolConfig() ProtocolConfig { return coherence.DefaultConfig() }
+
+// NewProtocolSystem builds an event-driven protocol simulation of the
+// given workload.
+func NewProtocolSystem(cfg ProtocolConfig, prof Workload, seed uint64, factory ProtocolFactory) *ProtocolSystem {
+	return coherence.New(cfg, prof, seed, factory)
+}
+
+// Workload is a synthetic stand-in for one Table 2 application.
+type Workload = workload.Profile
+
+// Workloads returns the nine-workload suite in Table 2 order.
+func Workloads() []Workload { return workload.Profiles() }
+
+// WorkloadByName returns the named workload ("db2" ... "ocean").
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// ---- traces ----
+
+// TraceRecord is one traced access.
+type TraceRecord = trace.Record
+
+// TraceWriter streams trace records to an io.Writer; TraceReader reads
+// them back.
+type TraceWriter = trace.Writer
+type TraceReader = trace.Reader
+
+// NewTraceWriter creates a binary trace writer for a system with the
+// given core count.
+func NewTraceWriter(w io.Writer, cores int) (*TraceWriter, error) {
+	return trace.NewWriter(w, cores)
+}
+
+// NewTraceReader validates a trace header and returns a record reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// CaptureTrace records n accesses of the workload (round-robin across
+// cores) into w.
+func CaptureTrace(w io.Writer, prof Workload, cores int, seed uint64, n int) (uint64, error) {
+	return trace.Capture(w, prof, cores, seed, n)
+}
+
+// ReplayTrace drives a functional system from a recorded trace; the run is
+// bit-identical to the generator-driven run the trace was captured from.
+func ReplayTrace(r *TraceReader, sys *System) (uint64, error) {
+	return trace.Replay(r, sys)
+}
+
+// ---- experiments ----
+
+// Experiment is one reproducible paper artifact.
+type Experiment = exp.Experiment
+
+// ExperimentOptions parameterize an experiment run.
+type ExperimentOptions = exp.Options
+
+// Experiment scales.
+const (
+	// QuickScale runs shortened measurements (default).
+	QuickScale = exp.Quick
+	// FullScale runs the paper-scale measurements of EXPERIMENTS.md.
+	FullScale = exp.Full
+)
+
+// Experiments returns all experiments in paper order.
+func Experiments() []Experiment { return exp.All() }
+
+// RunExperiment regenerates the identified table or figure.
+func RunExperiment(id string, o ExperimentOptions) ([]*Table, error) {
+	e, err := exp.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(o), nil
+}

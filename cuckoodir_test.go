@@ -1,0 +1,187 @@
+package cuckoodir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicCuckooDirectory(t *testing.T) {
+	dir := NewCuckooDirectory(CuckooConfig{Ways: 4, SetsPerWay: 64}, 16)
+	if dir.Name() != "cuckoo" || dir.NumCaches() != 16 || dir.Capacity() != 256 {
+		t.Fatalf("metadata: %s %d %d", dir.Name(), dir.NumCaches(), dir.Capacity())
+	}
+	dir.Read(0x40, 3)
+	dir.Read(0x40, 9)
+	op := dir.Write(0x40, 3)
+	if op.Invalidate != 1<<9 {
+		t.Fatalf("Invalidate = %#x", op.Invalidate)
+	}
+	dir.Evict(0x40, 3)
+	if _, ok := dir.Lookup(0x40); ok {
+		t.Fatal("entry not freed")
+	}
+}
+
+func TestPublicCuckooTable(t *testing.T) {
+	tbl := NewCuckooTable[string](TableConfig{Ways: 3, SetsPerWay: 32})
+	res := tbl.Insert(7, "seven")
+	if res.Present || res.Attempts != 1 {
+		t.Fatalf("insert: %+v", res)
+	}
+	if v := tbl.Find(7); v == nil || *v != "seven" {
+		t.Fatal("find failed")
+	}
+	if !tbl.Delete(7) {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestPublicOrganizations(t *testing.T) {
+	dirs := []Directory{
+		NewCuckooDirectory(CuckooConfig{Ways: 4, SetsPerWay: 64}, 8),
+		NewSparseDirectory(8, 64, 8),
+		NewSkewedDirectory(4, 64, 8),
+		NewElbowDirectory(4, 64, 8),
+		NewDuplicateTagDirectory(8, 64, 2),
+		NewTaglessDirectory(8, 64, 32, 2),
+		NewInCacheDirectory(8, 1024),
+		NewIdealDirectory(8, 512),
+	}
+	names := map[string]bool{}
+	for _, d := range dirs {
+		d.Read(0x80, 1)
+		if m, ok := d.Lookup(0x80); !ok || m&2 == 0 {
+			t.Errorf("%s: lost the sharer", d.Name())
+		}
+		names[d.Name()] = true
+	}
+	if len(names) != len(dirs) {
+		t.Errorf("duplicate organization names: %v", names)
+	}
+}
+
+func TestPublicSystemRun(t *testing.T) {
+	prof, err := WorkloadByName("apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSystemConfig(SharedL2)
+	sys := NewSystem(cfg, prof, 1, CuckooSlices(ChosenCuckooSize(SharedL2)))
+	sys.Run(200000)
+	if sys.DirStats().Events.Total() == 0 {
+		t.Fatal("no directory events")
+	}
+	if err := sys.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicProtocolRun(t *testing.T) {
+	prof, err := WorkloadByName("db2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewProtocolSystem(DefaultProtocolConfig(), prof, 2,
+		func(_, n int) Directory {
+			return NewCuckooDirectory(CuckooConfig{Ways: 3, SetsPerWay: 8192}, n)
+		})
+	sys.Run(50000)
+	if sys.AvgMissLatency() <= 0 {
+		t.Fatal("no misses measured")
+	}
+	sys.Drain()
+	if err := sys.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFormattedDirectory(t *testing.T) {
+	for _, f := range []SharerFormat{
+		FullVectorFormat(), CoarseVectorFormat(), LimitedPointerFormat(2), HierarchicalFormat(),
+	} {
+		d := NewFormattedCuckooDirectory(CuckooConfig{Ways: 4, SetsPerWay: 32}, f, 16)
+		for c := 0; c < 5; c++ {
+			d.Read(0x9, c)
+		}
+		m, ok := d.Lookup(0x9)
+		if !ok {
+			t.Fatalf("%s: entry lost", d.Name())
+		}
+		for c := 0; c < 5; c++ {
+			if m&(1<<uint(c)) == 0 {
+				t.Fatalf("%s: sharer %d not covered by %#x", d.Name(), c, m)
+			}
+		}
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	prof, err := WorkloadByName("db2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	// strings.Builder is an io.Writer; capture a tiny trace.
+	n, err := CaptureTrace(&buf, prof, 4, 3, 1000)
+	if err != nil || n != 1000 {
+		t.Fatalf("capture: %d, %v", n, err)
+	}
+	rd, err := NewTraceReader(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SystemConfig{Kind: SharedL2, Cores: 4, TrackedSets: 64, TrackedAssoc: 2}
+	sys := NewSystem(cfg, prof, 9, CuckooSlices(CuckooSize{Ways: 4, Sets: 64}))
+	replayed, err := ReplayTrace(rd, sys)
+	if err != nil || replayed != 1000 {
+		t.Fatalf("replay: %d, %v", replayed, err)
+	}
+	if sys.Accesses() != 1000 {
+		t.Fatalf("system accesses = %d", sys.Accesses())
+	}
+}
+
+func TestPublicSparseSlices(t *testing.T) {
+	prof, err := WorkloadByName("zeus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SystemConfig{Kind: PrivateL2, Cores: 4, TrackedSets: 128, TrackedAssoc: 4}
+	sys := NewSystem(cfg, prof, 4, SparseSlices(cfg, 8, 2))
+	sys.Run(100000)
+	if sys.DirStats().Events.Total() == 0 {
+		t.Fatal("no events")
+	}
+	// Ideal slices on the same config for occupancy.
+	sys2 := NewSystem(cfg, prof, 4, IdealSlices(cfg))
+	sys2.Run(100000)
+	if sys2.MeanOccupancy() <= 0 {
+		t.Fatal("no occupancy samples")
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if len(Workloads()) != 9 {
+		t.Fatal("workload suite incomplete")
+	}
+	if _, err := WorkloadByName("nonesuch"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 14 {
+		t.Fatalf("experiments = %d", len(exps))
+	}
+	tables, err := RunExperiment("table1", ExperimentOptions{Scale: QuickScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tables[0].String(), "16 cores") {
+		t.Fatal("table1 content wrong")
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}

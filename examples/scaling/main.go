@@ -1,0 +1,59 @@
+// Scaling: regenerate the paper's analytical scaling projections
+// (Figures 4 and 13) and print the headline efficiency ratios the
+// abstract quotes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cuckoodir"
+)
+
+func main() {
+	// Full Figure 13 sweep through the experiment harness.
+	tables, err := cuckoodir.RunExperiment("fig13", cuckoodir.ExperimentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	// Headline ratios from the same data: compare the Cuckoo Coarse
+	// column against Duplicate-Tag (energy, 16 cores) and Sparse 8x
+	// Coarse (area, 1024 cores) in the Shared-L2 tables.
+	energyTbl, areaTbl := tables[0], tables[1]
+	col := func(t *cuckoodir.Table, name string) int {
+		for i, h := range t.Headers() {
+			if h == name {
+				return i
+			}
+		}
+		log.Fatalf("column %q not found", name)
+		return -1
+	}
+	parse := func(cell string) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(cell, "%f%%", &v); err != nil {
+			log.Fatalf("bad cell %q: %v", cell, err)
+		}
+		return v
+	}
+	dt16 := parse(energyTbl.Cell(0, col(energyTbl, "Duplicate-Tag")))
+	ck16 := parse(energyTbl.Cell(0, col(energyTbl, "Cuckoo Coarse")))
+	rows := areaTbl.NumRows()
+	sp1024 := parse(areaTbl.Cell(rows-1, col(areaTbl, "Sparse 8x Coarse")))
+	ck1024 := parse(areaTbl.Cell(rows-1, col(areaTbl, "Cuckoo Coarse")))
+	tg1024 := parse(energyTbl.Cell(rows-1, col(energyTbl, "Tagless")))
+	ckE1024 := parse(energyTbl.Cell(rows-1, col(energyTbl, "Cuckoo Coarse")))
+
+	fmt.Println("headline ratios (Shared-L2):")
+	fmt.Printf("  16 cores:   Duplicate-Tag / Cuckoo energy = %.1fx  (paper: up to 16x)\n", dt16/ck16)
+	fmt.Printf("  1024 cores: Tagless / Cuckoo energy       = %.1fx  (paper: up to 80x)\n", tg1024/ckE1024)
+	fmt.Printf("  1024 cores: Sparse 8x / Cuckoo area       = %.1fx  (paper: more than 7x)\n", sp1024/ck1024)
+}

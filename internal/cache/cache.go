@@ -1,0 +1,227 @@
+// Package cache models the private caches whose contents the coherence
+// directory tracks: set-associative, write-back, true-LRU tag arrays
+// operating on block addresses (the simulator works at 64-byte-block
+// granularity throughout, per Table 1).
+//
+// Only tags and coherence state are modelled — a directory study needs the
+// stream of fills, upgrades and evictions, not data values.
+package cache
+
+import "fmt"
+
+// State is a private-cache block's coherence state. The functional model
+// needs only the Shared/Modified distinction: a write to a Shared block
+// must consult the directory (upgrade), a write to a Modified block is
+// silent. Exclusive-clean is not modelled; the paper's evaluation does not
+// depend on it.
+type State uint8
+
+// Block states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// String returns the state mnemonic.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Config is the cache geometry. Sets must be a power of two.
+type Config struct {
+	Sets  int
+	Assoc int
+}
+
+// Victim describes a block evicted to make room for a fill.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Result reports the outcome of an Access.
+type Result struct {
+	// Hit is true when the block was present with sufficient permission
+	// or was upgradable in place.
+	Hit bool
+	// NeedUpgrade is true for a write that hit a Shared block: the caller
+	// must consult the directory (which invalidates other sharers); the
+	// line has already been promoted to Modified.
+	NeedUpgrade bool
+	// Victim is the block evicted by a fill, or nil. The caller must
+	// notify the directory (Evict) — in hardware this is the replacement
+	// notification every directory scheme relies on.
+	Victim *Victim
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Upgrades  uint64
+	Evictions uint64
+	// Invalidations counts blocks removed by Remove (directory-initiated).
+	Invalidations uint64
+}
+
+type line struct {
+	addr  uint64
+	lru   uint64
+	state State
+}
+
+// Cache is a single private cache. Not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	mask  uint64
+	lines []line
+	used  int
+	clock uint64
+	stats Stats
+}
+
+// New builds an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("cache: Sets = %d, need a power of two", cfg.Sets))
+	}
+	if cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache: Assoc = %d", cfg.Assoc))
+	}
+	return &Cache{
+		cfg:   cfg,
+		mask:  uint64(cfg.Sets - 1),
+		lines: make([]line, cfg.Sets*cfg.Assoc),
+	}
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Frames returns the total frame count.
+func (c *Cache) Frames() int { return c.cfg.Sets * c.cfg.Assoc }
+
+// Len returns the number of valid blocks.
+func (c *Cache) Len() int { return c.used }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// setBase returns the first line index of addr's set.
+func (c *Cache) setBase(addr uint64) int {
+	return int(addr&c.mask) * c.cfg.Assoc
+}
+
+// find returns the line holding addr, or nil.
+func (c *Cache) find(addr uint64) *line {
+	base := c.setBase(addr)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		l := &c.lines[base+w]
+		if l.state != Invalid && l.addr == addr {
+			return l
+		}
+	}
+	return nil
+}
+
+// Contains reports whether addr is cached.
+func (c *Cache) Contains(addr uint64) bool { return c.find(addr) != nil }
+
+// State returns addr's coherence state (Invalid when absent).
+func (c *Cache) State(addr uint64) State {
+	if l := c.find(addr); l != nil {
+		return l.state
+	}
+	return Invalid
+}
+
+// Access performs a read (write=false) or write (write=true) of addr,
+// filling on a miss with LRU replacement. See Result for the follow-up
+// actions the caller owes the directory.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.clock++
+	if l := c.find(addr); l != nil {
+		l.lru = c.clock
+		if write && l.state == Shared {
+			l.state = Modified
+			c.stats.Upgrades++
+			return Result{Hit: true, NeedUpgrade: true}
+		}
+		c.stats.Hits++
+		return Result{Hit: true}
+	}
+	c.stats.Misses++
+	// Miss: pick an invalid frame or the LRU line of the set.
+	base := c.setBase(addr)
+	victim := &c.lines[base]
+	for w := 0; w < c.cfg.Assoc; w++ {
+		l := &c.lines[base+w]
+		if l.state == Invalid {
+			victim = l
+			break
+		}
+		if l.lru < victim.lru {
+			victim = l
+		}
+	}
+	var res Result
+	if victim.state != Invalid {
+		res.Victim = &Victim{Addr: victim.addr, Dirty: victim.state == Modified}
+		c.stats.Evictions++
+		c.used--
+	}
+	st := Shared
+	if write {
+		st = Modified
+	}
+	*victim = line{addr: addr, lru: c.clock, state: st}
+	c.used++
+	return res
+}
+
+// Downgrade demotes addr from Modified to Shared (a directory recall on a
+// remote read) and reports whether the block was present and modified.
+func (c *Cache) Downgrade(addr uint64) bool {
+	if l := c.find(addr); l != nil && l.state == Modified {
+		l.state = Shared
+		return true
+	}
+	return false
+}
+
+// Remove invalidates addr (a directory-initiated back-invalidation or a
+// write-invalidation from another core) and reports whether it was
+// present.
+func (c *Cache) Remove(addr uint64) bool {
+	if l := c.find(addr); l != nil {
+		l.state = Invalid
+		c.used--
+		c.stats.Invalidations++
+		return true
+	}
+	return false
+}
+
+// ForEach visits every valid block until fn returns false.
+func (c *Cache) ForEach(fn func(addr uint64, st State) bool) {
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			if !fn(c.lines[i].addr, c.lines[i].state) {
+				return
+			}
+		}
+	}
+}

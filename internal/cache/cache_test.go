@@ -1,0 +1,271 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cuckoodir/internal/rng"
+)
+
+func small() *Cache { return New(Config{Sets: 4, Assoc: 2}) }
+
+func TestMissFillHit(t *testing.T) {
+	c := small()
+	res := c.Access(0x10, false)
+	if res.Hit || res.Victim != nil {
+		t.Fatalf("cold access: %+v", res)
+	}
+	if !c.Contains(0x10) || c.State(0x10) != Shared {
+		t.Fatal("fill missing or wrong state")
+	}
+	res = c.Access(0x10, false)
+	if !res.Hit {
+		t.Fatal("re-access missed")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteFillModified(t *testing.T) {
+	c := small()
+	c.Access(0x20, true)
+	if c.State(0x20) != Modified {
+		t.Fatalf("write fill state = %v", c.State(0x20))
+	}
+	// Write hit on Modified is silent.
+	res := c.Access(0x20, true)
+	if !res.Hit || res.NeedUpgrade {
+		t.Fatalf("write hit on M: %+v", res)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	c := small()
+	c.Access(0x30, false)
+	res := c.Access(0x30, true)
+	if !res.Hit || !res.NeedUpgrade {
+		t.Fatalf("upgrade: %+v", res)
+	}
+	if c.State(0x30) != Modified {
+		t.Fatal("upgrade did not promote to M")
+	}
+	if c.Stats().Upgrades != 1 {
+		t.Fatalf("Upgrades = %d", c.Stats().Upgrades)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 4 sets, 2 ways; set = addr & 3
+	c.Access(0x0, false)
+	c.Access(0x4, false) // same set 0
+	c.Access(0x0, false) // touch 0x0; 0x4 becomes LRU
+	res := c.Access(0x8, false)
+	if res.Victim == nil || res.Victim.Addr != 0x4 {
+		t.Fatalf("victim = %+v, want 0x4", res.Victim)
+	}
+	if res.Victim.Dirty {
+		t.Fatal("clean victim reported dirty")
+	}
+	if c.Contains(0x4) {
+		t.Fatal("victim still present")
+	}
+}
+
+func TestDirtyVictim(t *testing.T) {
+	c := small()
+	c.Access(0x0, true) // M
+	c.Access(0x4, false)
+	c.Access(0x4, false)
+	res := c.Access(0x8, false) // evicts LRU = 0x0 (M)
+	if res.Victim == nil || res.Victim.Addr != 0x0 || !res.Victim.Dirty {
+		t.Fatalf("victim = %+v, want dirty 0x0", res.Victim)
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("Evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := small()
+	c.Access(0x0, false)
+	if !c.Remove(0x0) {
+		t.Fatal("Remove of present block failed")
+	}
+	if c.Remove(0x0) {
+		t.Fatal("double Remove succeeded")
+	}
+	if c.Contains(0x0) || c.Len() != 0 {
+		t.Fatal("block survives Remove")
+	}
+	if c.Stats().Invalidations != 1 {
+		t.Fatalf("Invalidations = %d", c.Stats().Invalidations)
+	}
+	// The freed frame is reused without eviction.
+	res := c.Access(0x4, false)
+	if res.Victim != nil {
+		t.Fatal("fill after Remove evicted")
+	}
+}
+
+func TestLenAndFrames(t *testing.T) {
+	c := New(Config{Sets: 8, Assoc: 4})
+	if c.Frames() != 32 {
+		t.Fatalf("Frames = %d", c.Frames())
+	}
+	for i := uint64(0); i < 100; i++ {
+		c.Access(i, false)
+	}
+	if c.Len() > c.Frames() {
+		t.Fatalf("Len %d exceeds frames %d", c.Len(), c.Frames())
+	}
+}
+
+// TestSetBounds verifies a set never exceeds its associativity and LRU
+// never evicts from a different set, against a reference model.
+func TestSetBounds(t *testing.T) {
+	const sets, assoc = 8, 4
+	c := New(Config{Sets: sets, Assoc: assoc})
+	ref := make(map[uint64]map[uint64]bool) // set -> blocks
+	r := rng.New(99)
+	for step := 0; step < 20000; step++ {
+		addr := uint64(r.Intn(256))
+		set := addr % sets
+		if ref[set] == nil {
+			ref[set] = make(map[uint64]bool)
+		}
+		res := c.Access(addr, r.Bool(0.3))
+		if res.Victim != nil {
+			vset := res.Victim.Addr % sets
+			if vset != set {
+				t.Fatalf("victim from set %d during fill into set %d", vset, set)
+			}
+			delete(ref[set], res.Victim.Addr)
+		}
+		ref[set][addr] = true
+		if len(ref[set]) > assoc {
+			t.Fatalf("set %d holds %d blocks (assoc %d)", set, len(ref[set]), assoc)
+		}
+	}
+	// Cross-check contents.
+	total := 0
+	for set, blocks := range ref {
+		for a := range blocks {
+			if !c.Contains(a) {
+				t.Fatalf("reference block %#x (set %d) missing", a, set)
+			}
+			total++
+		}
+	}
+	if c.Len() != total {
+		t.Fatalf("Len = %d, reference %d", c.Len(), total)
+	}
+}
+
+// Property (testing/quick): a block is always present immediately after
+// Access, absent after Remove, and the victim (when any) comes from the
+// accessed set.
+func TestQuickAccessInvariants(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		c := New(Config{Sets: 8, Assoc: 2})
+		for _, op := range ops {
+			addr := uint64(op % 128)
+			write := op&0x8000 != 0
+			res := c.Access(addr, write)
+			if !c.Contains(addr) {
+				return false
+			}
+			if write && c.State(addr) != Modified {
+				return false
+			}
+			if res.Victim != nil && res.Victim.Addr%8 != addr%8 {
+				return false
+			}
+			if op&0x4000 != 0 {
+				c.Remove(addr)
+				if c.Contains(addr) {
+					return false
+				}
+			}
+		}
+		return c.Len() <= c.Frames()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	c := small()
+	c.Access(0x1, false)
+	c.Access(0x2, true)
+	seen := map[uint64]State{}
+	c.ForEach(func(addr uint64, st State) bool {
+		seen[addr] = st
+		return true
+	})
+	if len(seen) != 2 || seen[0x1] != Shared || seen[0x2] != Modified {
+		t.Fatalf("ForEach saw %v", seen)
+	}
+	// Early stop.
+	n := 0
+	c.ForEach(func(uint64, State) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Error("state mnemonics wrong")
+	}
+	if State(9).String() == "" {
+		t.Error("unknown state should still format")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{{Sets: 0, Assoc: 2}, {Sets: 3, Assoc: 2}, {Sets: 4, Assoc: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := small()
+	c.Access(1, false)
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatal("ResetStats incomplete")
+	}
+	if !c.Contains(1) {
+		t.Fatal("ResetStats dropped contents")
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{Sets: 512, Assoc: 2})
+	for i := uint64(0); i < 512; i++ {
+		c.Access(i, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)&511, false)
+	}
+}
+
+func BenchmarkAccessChurn(b *testing.B) {
+	c := New(Config{Sets: 512, Assoc: 2})
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(r.Uint64()&0x3fff, i&1 == 0)
+	}
+}

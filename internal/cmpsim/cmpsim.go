@@ -1,0 +1,390 @@
+// Package cmpsim is the functional simulator of the paper's evaluation
+// platform (§5, Table 1): a tiled 16-core CMP whose private caches are
+// kept coherent by an address-interleaved distributed directory, one slice
+// per tile.
+//
+// Two system configurations are modelled, exactly as §5 describes:
+//
+//   - Shared-L2: the directory tracks the private L1 caches — split I/D,
+//     64 KB, 2-way, 64-byte blocks (two caches per core). Each slice's
+//     worst-case tracked-block count ("1x") is 2048 entries.
+//   - Private-L2: the directory tracks private 1 MB 16-way L2 caches (one
+//     cache per core; "also representative of a system with a 3-level
+//     cache hierarchy using two private levels and a shared LLC"). "1x"
+//     is 16384 entries per slice.
+//
+// The simulator is tag-only and untimed: every directory metric the paper
+// reports (occupancy, insertion attempts, forced invalidation rate, event
+// mix) is a function of the fill/upgrade/eviction stream, which this model
+// reproduces exactly. Timing-facing behaviour is exercised separately by
+// internal/coherence.
+package cmpsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cuckoodir/internal/cache"
+	"cuckoodir/internal/core"
+	"cuckoodir/internal/directory"
+	"cuckoodir/internal/stats"
+	"cuckoodir/internal/workload"
+)
+
+// Kind selects the cache hierarchy the directory tracks.
+type Kind int
+
+// Hierarchy kinds.
+const (
+	// SharedL2 tracks per-core split I/D L1s backed by a shared NUCA L2.
+	SharedL2 Kind = iota
+	// PrivateL2 tracks per-core private L2 caches.
+	PrivateL2
+)
+
+// String names the configuration as the paper does.
+func (k Kind) String() string {
+	switch k {
+	case SharedL2:
+		return "Shared-L2"
+	case PrivateL2:
+		return "Private-L2"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config is the system configuration (Table 1).
+type Config struct {
+	Kind  Kind
+	Cores int
+	// TrackedSets/TrackedAssoc is the geometry of each tracked private
+	// cache (L1: 512x2; private L2: 1024x16, 64-byte blocks).
+	TrackedSets  int
+	TrackedAssoc int
+}
+
+// DefaultConfig returns the paper's 16-core configuration for the kind.
+func DefaultConfig(kind Kind) Config {
+	switch kind {
+	case SharedL2:
+		// 64 KB / 64 B / 2 ways = 512 sets.
+		return Config{Kind: SharedL2, Cores: 16, TrackedSets: 512, TrackedAssoc: 2}
+	case PrivateL2:
+		// 1 MB / 64 B / 16 ways = 1024 sets.
+		return Config{Kind: PrivateL2, Cores: 16, TrackedSets: 1024, TrackedAssoc: 16}
+	default:
+		panic("cmpsim: unknown kind")
+	}
+}
+
+// NumCaches returns the number of tracked caches (two per core for
+// SharedL2's split I/D, one per core for PrivateL2).
+func (c Config) NumCaches() int {
+	if c.Kind == SharedL2 {
+		return 2 * c.Cores
+	}
+	return c.Cores
+}
+
+// Slices returns the number of directory slices (one per tile).
+func (c Config) Slices() int { return c.Cores }
+
+// FramesPerCache returns each tracked cache's frame count.
+func (c Config) FramesPerCache() int { return c.TrackedSets * c.TrackedAssoc }
+
+// OneXSliceCapacity returns the "1x" provisioning-factor capacity of one
+// directory slice: the worst-case number of distinct blocks that map to it
+// (total tracked frames divided by slice count), the baseline of Figure 9.
+func (c Config) OneXSliceCapacity() int {
+	return c.NumCaches() * c.FramesPerCache() / c.Slices()
+}
+
+// validate panics on malformed configurations.
+func (c Config) validate() {
+	if c.Cores <= 0 || c.Cores&(c.Cores-1) != 0 {
+		panic(fmt.Sprintf("cmpsim: Cores = %d, need a power of two", c.Cores))
+	}
+	if c.TrackedSets <= 0 || c.TrackedSets&(c.TrackedSets-1) != 0 {
+		panic(fmt.Sprintf("cmpsim: TrackedSets = %d, need a power of two", c.TrackedSets))
+	}
+	if c.TrackedAssoc <= 0 {
+		panic("cmpsim: non-positive TrackedAssoc")
+	}
+	if c.NumCaches() > 64 {
+		panic("cmpsim: more than 64 tracked caches")
+	}
+}
+
+// DirectoryFactory builds one directory slice. slice is the tile index;
+// numCaches the tracked cache count.
+type DirectoryFactory func(slice, numCaches int) directory.Directory
+
+// System is one simulated CMP running one workload against one directory
+// organization.
+type System struct {
+	cfg       Config
+	caches    []*cache.Cache
+	slices    []directory.Directory
+	gens      []*workload.Generator
+	sliceMask uint64
+	nextCore  int
+	accesses  uint64
+	occ       stats.Mean
+	// occEvery controls occupancy sampling frequency (accesses).
+	occEvery uint64
+}
+
+// New builds a system running the given workload profile.
+func New(cfg Config, prof workload.Profile, seed uint64, factory DirectoryFactory) *System {
+	cfg.validate()
+	s := &System{
+		cfg:       cfg,
+		sliceMask: uint64(cfg.Slices() - 1),
+		occEvery:  1024,
+	}
+	for i := 0; i < cfg.NumCaches(); i++ {
+		s.caches = append(s.caches, cache.New(cache.Config{
+			Sets:  cfg.TrackedSets,
+			Assoc: cfg.TrackedAssoc,
+		}))
+	}
+	for i := 0; i < cfg.Slices(); i++ {
+		d := factory(i, cfg.NumCaches())
+		if d.NumCaches() != cfg.NumCaches() {
+			panic("cmpsim: factory built a directory for the wrong cache count")
+		}
+		s.slices = append(s.slices, d)
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		s.gens = append(s.gens, workload.NewGenerator(prof, c, cfg.Cores, seed))
+	}
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// cacheID maps (core, instruction-fetch?) to a tracked cache index.
+// SharedL2 splits I (even ids) and D (odd ids); PrivateL2 unifies.
+func (s *System) cacheID(coreID int, code bool) int {
+	if s.cfg.Kind == SharedL2 {
+		id := coreID * 2
+		if !code {
+			id++
+		}
+		return id
+	}
+	return coreID
+}
+
+// homeSlice returns the directory slice responsible for addr (static
+// block-address interleaving, Figure 2).
+func (s *System) homeSlice(addr uint64) directory.Directory {
+	return s.slices[addr&s.sliceMask]
+}
+
+// Step simulates one access from the next core (round-robin).
+func (s *System) Step() {
+	coreID := s.nextCore
+	s.nextCore = (s.nextCore + 1) % s.cfg.Cores
+	a := s.gens[coreID].Next()
+	s.access(coreID, a)
+	s.accesses++
+	if s.accesses%s.occEvery == 0 {
+		s.occ.Add(s.occupancyNow())
+	}
+}
+
+// Run simulates n accesses.
+func (s *System) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Inject simulates one externally supplied access from coreID — the trace
+// replay path. Mixing Inject with Step is allowed but loses the
+// round-robin interleaving guarantee.
+func (s *System) Inject(coreID int, a workload.Access) {
+	if coreID < 0 || coreID >= s.cfg.Cores {
+		panic("cmpsim: inject core out of range")
+	}
+	s.access(coreID, a)
+	s.accesses++
+	if s.accesses%s.occEvery == 0 {
+		s.occ.Add(s.occupancyNow())
+	}
+}
+
+// access performs one reference from coreID.
+func (s *System) access(coreID int, a workload.Access) {
+	cid := s.cacheID(coreID, a.Code)
+	c := s.caches[cid]
+	res := c.Access(a.Addr, a.Write)
+
+	// Replacement notification precedes the fill request, as in hardware
+	// (and as the Duplicate-Tag mirroring invariant requires).
+	if res.Victim != nil {
+		s.homeSlice(res.Victim.Addr).Evict(res.Victim.Addr, cid)
+	}
+
+	var op directory.Op
+	switch {
+	case !res.Hit && a.Write:
+		op = s.homeSlice(a.Addr).Write(a.Addr, cid)
+	case !res.Hit:
+		op = s.homeSlice(a.Addr).Read(a.Addr, cid)
+	case res.NeedUpgrade:
+		op = s.homeSlice(a.Addr).Write(a.Addr, cid)
+	default:
+		return
+	}
+	s.applyOp(a.Addr, cid, op)
+}
+
+// applyOp applies a directory operation's side effects to the caches.
+func (s *System) applyOp(addr uint64, requester int, op directory.Op) {
+	// Write invalidations: every listed cache drops its copy. Inexact
+	// directories may list non-holders (spurious); Remove tolerates that.
+	for m := op.Invalidate; m != 0; m &= m - 1 {
+		c := trailingZeros(m)
+		if c != requester {
+			s.caches[c].Remove(addr)
+		}
+	}
+	// Directory-forced evictions: the tracked blocks are invalidated in
+	// all their sharer caches ("forcing invalidation of cached blocks
+	// tracked by the conflicting directory entries", §3.2). Note the
+	// forced victim can be the just-inserted block itself when a Cuckoo
+	// insertion fails.
+	for _, f := range op.Forced {
+		for m := f.Sharers; m != 0; m &= m - 1 {
+			s.caches[trailingZeros(m)].Remove(f.Addr)
+		}
+	}
+}
+
+func trailingZeros(m uint64) int { return bits.TrailingZeros64(m) }
+
+// occupancyNow returns current tracked entries / aggregate 1x capacity.
+func (s *System) occupancyNow() float64 {
+	entries := 0
+	for _, d := range s.slices {
+		entries += d.Len()
+	}
+	return float64(entries) / float64(s.cfg.OneXSliceCapacity()*s.cfg.Slices())
+}
+
+// MeanOccupancy returns the time-averaged directory occupancy relative to
+// the 1x capacity (Figure 8's metric). The value is meaningful after the
+// caches are warm.
+func (s *System) MeanOccupancy() float64 { return s.occ.Value() }
+
+// ResetStats zeroes all cache and directory statistics and the occupancy
+// series; contents are preserved. Call after warm-up.
+func (s *System) ResetStats() {
+	for _, c := range s.caches {
+		c.ResetStats()
+	}
+	for _, d := range s.slices {
+		d.ResetStats()
+	}
+	s.occ = stats.Mean{}
+}
+
+// DirStats returns the directory statistics merged across slices.
+func (s *System) DirStats() *directory.Stats {
+	maxAttempts := 1
+	for _, d := range s.slices {
+		if m := d.Stats().Attempts.Max(); m > maxAttempts {
+			maxAttempts = m
+		}
+	}
+	agg := core.NewDirStats(maxAttempts)
+	for _, d := range s.slices {
+		st := d.Stats()
+		if st.Attempts.Max() != maxAttempts {
+			// Histogram ranges must match to merge; normalize by copying.
+			tmp := core.NewDirStats(maxAttempts)
+			tmp.Events.Merge(st.Events)
+			for v := 0; v <= st.Attempts.Max(); v++ {
+				tmp.Attempts.AddN(v, st.Attempts.Bucket(v))
+			}
+			tmp.ForcedEvictions = st.ForcedEvictions
+			tmp.ForcedBlocks = st.ForcedBlocks
+			tmp.OccupancySum = st.OccupancySum
+			tmp.OccupancySamples = st.OccupancySamples
+			agg.Merge(tmp)
+			continue
+		}
+		agg.Merge(st)
+	}
+	return agg
+}
+
+// CacheStats returns the cache statistics summed over all tracked caches.
+func (s *System) CacheStats() cache.Stats {
+	var agg cache.Stats
+	for _, c := range s.caches {
+		st := c.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Upgrades += st.Upgrades
+		agg.Evictions += st.Evictions
+		agg.Invalidations += st.Invalidations
+	}
+	return agg
+}
+
+// Accesses returns the number of simulated accesses.
+func (s *System) Accesses() uint64 { return s.accesses }
+
+// Slices returns the directory slices (for experiment-level inspection).
+func (s *System) Slices() []directory.Directory { return s.slices }
+
+// CheckConsistency audits the caches against the directory: every cached
+// block must be visible in its home slice's sharer set (all organizations
+// promise at least a superset). For exact organizations (everything except
+// Tagless) it additionally verifies the converse: every tracked sharer
+// actually holds the block. It returns the first violation found.
+func (s *System) CheckConsistency() error {
+	for cid, c := range s.caches {
+		var err error
+		c.ForEach(func(addr uint64, _ cache.State) bool {
+			m, ok := s.homeSlice(addr).Lookup(addr)
+			if !ok || m&(1<<uint(cid)) == 0 {
+				err = fmt.Errorf("cmpsim: cache %d holds %#x but directory does not track it", cid, addr)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for si, d := range s.slices {
+		if d.Name() == "tagless" {
+			continue // the filter view is a superset by design
+		}
+		var err error
+		d.ForEach(func(addr, sharers uint64) bool {
+			if sharers == 0 {
+				err = fmt.Errorf("cmpsim: slice %d tracks %#x with no sharers", si, addr)
+				return false
+			}
+			for m := sharers; m != 0; m &= m - 1 {
+				cid := trailingZeros(m)
+				if !s.caches[cid].Contains(addr) {
+					err = fmt.Errorf("cmpsim: slice %d lists cache %d for %#x, which it does not hold", si, cid, addr)
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

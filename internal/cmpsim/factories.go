@@ -1,0 +1,152 @@
+package cmpsim
+
+import (
+	"math/bits"
+
+	"cuckoodir/internal/core"
+	"cuckoodir/internal/directory"
+	"cuckoodir/internal/hashfn"
+)
+
+// CuckooSize is a Cuckoo directory slice geometry in the paper's
+// "(ways) x (sets)" notation (Figure 9: "Cuckoo directory sizes are
+// expressed as (number of ways) x (number of sets)").
+type CuckooSize struct {
+	Ways int
+	Sets int
+}
+
+// Entries returns the slice capacity.
+func (s CuckooSize) Entries() int { return s.Ways * s.Sets }
+
+// Provisioning returns the provisioning factor relative to the 1x slice
+// capacity of cfg (e.g. 2.0 for "2x").
+func (s CuckooSize) Provisioning(cfg Config) float64 {
+	return float64(s.Entries()) / float64(cfg.OneXSliceCapacity())
+}
+
+// String formats the geometry as the paper does, e.g. "4x512".
+func (s CuckooSize) String() string {
+	return itoa(s.Ways) + "x" + itoa(s.Sets)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// SharedL2Sizes returns Figure 9's Shared-L2 sweep, over-provisioned to
+// under-provisioned: 4x1024 (2x), 3x1024 (1.5x), 4x512 (1x), 3x512 (3/4x),
+// 4x256 (1/2x), 3x256 (3/8x).
+func SharedL2Sizes() []CuckooSize {
+	return []CuckooSize{
+		{4, 1024}, {3, 1024}, {4, 512}, {3, 512}, {4, 256}, {3, 256},
+	}
+}
+
+// PrivateL2Sizes returns Figure 9's Private-L2 sweep: 4x8192 (2x),
+// 3x8192 (1.5x), 8x2048 (1x), 3x4096 (3/4x), 8x1024 (1/2x), 3x2048 (3/8x).
+func PrivateL2Sizes() []CuckooSize {
+	return []CuckooSize{
+		{4, 8192}, {3, 8192}, {8, 2048}, {3, 4096}, {8, 1024}, {3, 2048},
+	}
+}
+
+// ChosenCuckooSize returns the geometry §5.2/§5.3 select for each
+// configuration: 4x512 (1x) for Shared-L2, 3x8192 (1.5x) for Private-L2.
+func ChosenCuckooSize(kind Kind) CuckooSize {
+	if kind == SharedL2 {
+		return CuckooSize{4, 512}
+	}
+	return CuckooSize{3, 8192}
+}
+
+// CuckooFactory builds Cuckoo directory slices of the given geometry using
+// the skewing hash family (the paper's final design). A nil hash selects
+// the default.
+func CuckooFactory(size CuckooSize, hash hashfn.Family) DirectoryFactory {
+	return func(_, numCaches int) directory.Directory {
+		return directory.NewCuckoo(core.DirConfig{
+			Table: core.Config{
+				Ways:       size.Ways,
+				SetsPerWay: size.Sets,
+				Hash:       hash,
+			},
+			NumCaches: numCaches,
+		})
+	}
+}
+
+// SparseFactory builds classic Sparse slices with the given associativity
+// and provisioning factor relative to cfg's 1x capacity (Figure 12's
+// "Sparse 2x" is assoc 8, factor 2).
+func SparseFactory(cfg Config, assoc int, factor float64) DirectoryFactory {
+	sets := provisionedSets(cfg, assoc, factor)
+	return func(_, numCaches int) directory.Directory {
+		return directory.NewSparse(assoc, sets, numCaches)
+	}
+}
+
+// SkewedFactory builds skewed-associative slices (Figure 12's "Skewed 2x"
+// is 4-way, factor 2).
+func SkewedFactory(cfg Config, ways int, factor float64) DirectoryFactory {
+	sets := provisionedSets(cfg, ways, factor)
+	return func(_, numCaches int) directory.Directory {
+		return directory.NewSkewed(ways, sets, numCaches)
+	}
+}
+
+// provisionedSets returns the power-of-two set count giving
+// factor * OneXSliceCapacity total entries at the given associativity.
+func provisionedSets(cfg Config, assoc int, factor float64) int {
+	entries := factor * float64(cfg.OneXSliceCapacity())
+	sets := int(entries) / assoc
+	if sets <= 0 {
+		sets = 1
+	}
+	// Round to the nearest power of two (exact for the paper's configs).
+	return 1 << uint(bits.Len(uint(sets-1)))
+}
+
+// IdealFactory builds unbounded exact slices whose occupancy is reported
+// against the 1x capacity (used for Figure 8).
+func IdealFactory(cfg Config) DirectoryFactory {
+	nominal := cfg.OneXSliceCapacity()
+	return func(_, numCaches int) directory.Directory {
+		return directory.NewIdeal(numCaches, nominal)
+	}
+}
+
+// DuplicateTagFactory builds Duplicate-Tag slices mirroring cfg's tracked
+// cache geometry.
+func DuplicateTagFactory(cfg Config) DirectoryFactory {
+	return func(_, numCaches int) directory.Directory {
+		return directory.NewDuplicateTag(numCaches, cfg.TrackedSets, cfg.TrackedAssoc)
+	}
+}
+
+// TaglessFactory builds Tagless slices: one grid row per tracked-cache
+// set, bucketBits-wide Bloom filters, k probe hashes.
+func TaglessFactory(cfg Config, bucketBits, k int) DirectoryFactory {
+	return func(_, numCaches int) directory.Directory {
+		return directory.NewTagless(numCaches, cfg.TrackedSets, bucketBits, k)
+	}
+}
+
+// InCacheFactory builds inclusive in-cache slices (Shared-L2 only); the
+// nominal capacity is the shared-L2 bank's frame count (1 MB per core,
+// 16384 frames per slice).
+func InCacheFactory(l2FramesPerSlice int) DirectoryFactory {
+	return func(_, numCaches int) directory.Directory {
+		return directory.NewInCache(numCaches, l2FramesPerSlice)
+	}
+}

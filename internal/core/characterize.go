@@ -1,0 +1,148 @@
+package core
+
+import (
+	"cuckoodir/internal/hashfn"
+	"cuckoodir/internal/rng"
+	"cuckoodir/internal/stats"
+)
+
+// LoadThreshold returns the theoretical load threshold of a d-ary cuckoo
+// hash table with single-entry buckets: the occupancy below which, with
+// random hash functions and unbounded insertion attempts, all insertions
+// succeed with high probability. Values are the known thresholds from the
+// random-graph analysis of cuckoo hashing (Pagh & Rodler for d=2; Fotakis
+// et al. [15] and follow-up exact computations for d>=3). The Monte Carlo
+// characterization (Figure 7) must saturate just below these values,
+// which TestLoadThresholds verifies.
+func LoadThreshold(ways int) float64 {
+	switch ways {
+	case 2:
+		return 0.5
+	case 3:
+		return 0.9179
+	case 4:
+		return 0.9768
+	case 5:
+		return 0.9924
+	case 6:
+		return 0.9973
+	case 7:
+		return 0.9990
+	case 8:
+		return 0.9997
+	default:
+		if ways > 8 {
+			return 1.0
+		}
+		return 0
+	}
+}
+
+// CharacterizeConfig parameterizes the Monte Carlo characterization of the
+// raw d-ary cuckoo hash (§5.1, Figure 7).
+type CharacterizeConfig struct {
+	// Ways is d.
+	Ways int
+	// SetsPerWay sizes the table; Figure 7's curves are independent of
+	// total capacity, which TestCharacterizeCapacityInvariance verifies.
+	SetsPerWay int
+	// Keys is the number of random values inserted (the paper uses
+	// 100,000 — more than the table holds; insertion stops at failure
+	// saturation near occupancy 1).
+	Keys int
+	// Bins is the number of occupancy bins the results are bucketed into.
+	Bins int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Hash defaults to the Strong family: the paper uses "strong
+	// cryptographic functions to index the ways" for this experiment "to
+	// avoid bias from hash function selection".
+	Hash hashfn.Family
+	// MaxAttempts defaults to DefaultMaxAttempts (32), the paper's bound
+	// for "the frequency of not finding a vacant location for a victim
+	// entry in 32 insertion attempts".
+	MaxAttempts int
+	// BucketSize enables the Panigrahy bucketized-ways ablation (§6);
+	// 0 or 1 is the paper's single-entry design.
+	BucketSize int
+	// StashSize enables the Kirsch et al. victim-stash ablation (§6).
+	StashSize int
+}
+
+// OccupancyBin aggregates insertions whose pre-insertion occupancy fell
+// into one bin.
+type OccupancyBin struct {
+	// Occupancy is the bin's upper edge (e.g. 0.05, 0.10, ...).
+	Occupancy float64
+	// Insertions is the number of insertions observed in the bin.
+	Insertions uint64
+	// MeanAttempts is the average number of insertion attempts —
+	// Figure 7 (left).
+	MeanAttempts float64
+	// FailureProb is the fraction of insertions that found no vacancy
+	// within the attempt budget — Figure 7 (right).
+	FailureProb float64
+}
+
+// Characterize fills a d-ary cuckoo table with random keys and reports
+// insertion attempts and failure probability as a function of occupancy.
+func Characterize(cfg CharacterizeConfig) []OccupancyBin {
+	if cfg.Hash == nil {
+		cfg.Hash = hashfn.Strong{}
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = 20
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 100000
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	t := NewTable[struct{}](Config{
+		Ways:        cfg.Ways,
+		SetsPerWay:  cfg.SetsPerWay,
+		MaxAttempts: cfg.MaxAttempts,
+		Hash:        cfg.Hash,
+		BucketSize:  cfg.BucketSize,
+		StashSize:   cfg.StashSize,
+	})
+	r := rng.New(cfg.Seed)
+
+	attempts := make([]*stats.Mean, cfg.Bins)
+	fails := make([]*stats.Ratio, cfg.Bins)
+	for i := range attempts {
+		attempts[i] = new(stats.Mean)
+		fails[i] = new(stats.Ratio)
+	}
+	binOf := func(occ float64) int {
+		b := int(occ * float64(cfg.Bins))
+		if b >= cfg.Bins {
+			b = cfg.Bins - 1
+		}
+		return b
+	}
+
+	for k := 0; k < cfg.Keys; k++ {
+		occ := t.Occupancy()
+		bin := binOf(occ)
+		res := t.Insert(r.Uint64(), struct{}{})
+		if res.Present {
+			// Random 64-bit collision: vanishingly rare; skip.
+			continue
+		}
+		attempts[bin].Add(float64(res.Attempts))
+		fails[bin].Observe(res.Evicted != nil)
+	}
+
+	out := make([]OccupancyBin, cfg.Bins)
+	for i := range out {
+		out[i] = OccupancyBin{
+			Occupancy:    float64(i+1) / float64(cfg.Bins),
+			Insertions:   attempts[i].Count(),
+			MeanAttempts: attempts[i].Value(),
+			FailureProb:  fails[i].Value(),
+		}
+	}
+	return out
+}

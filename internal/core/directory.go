@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"cuckoodir/internal/stats"
+)
+
+// Event names used in the directory's event-mix accounting. These are the
+// five operation classes of the paper's energy methodology (§5.6 footnote:
+// insert 23.5%, add sharer 26.9%, remove sharer 24.9%, remove tag 23.5%,
+// invalidate all sharers 1.2%).
+const (
+	EvInsertTag    = "insert-tag"
+	EvAddSharer    = "add-sharer"
+	EvRemoveSharer = "remove-sharer"
+	EvRemoveTag    = "remove-tag"
+	EvInvalidate   = "invalidate-sharers"
+)
+
+// DirConfig configures a Cuckoo directory slice.
+type DirConfig struct {
+	// Table is the underlying d-ary cuckoo table geometry.
+	Table Config
+	// NumCaches is the number of private caches tracked (<= 64; sharer
+	// sets are held as bit masks in the functional model — the pluggable
+	// compressed formats of internal/sharer govern storage cost, which the
+	// energy model accounts separately).
+	NumCaches int
+}
+
+// Forced describes a directory-initiated eviction: the directory could not
+// track the entry any longer, so the listed sharer caches must invalidate
+// the block.
+type Forced struct {
+	Addr    uint64
+	Sharers uint64
+}
+
+// DirStats aggregates a directory slice's behaviour.
+type DirStats struct {
+	// Events counts the five directory event classes.
+	Events *stats.CounterSet
+	// Attempts is the per-insertion write-attempt histogram (1..cap),
+	// the quantity of Figures 7, 9, 10 and 11.
+	Attempts *stats.Histogram
+	// ForcedEvictions counts entries the directory discarded on insertion
+	// failure; ForcedBlocks counts the cache blocks invalidated as a
+	// consequence.
+	ForcedEvictions uint64
+	ForcedBlocks    uint64
+	// OccupancySum/OccupancySamples accumulate occupancy sampled at every
+	// insertion, giving the average directory occupancy of Figure 8.
+	OccupancySum     float64
+	OccupancySamples uint64
+}
+
+// NewDirStats returns zeroed statistics sized for the given attempt cap.
+func NewDirStats(maxAttempts int) *DirStats {
+	return &DirStats{
+		Events:   stats.NewCounterSet(),
+		Attempts: stats.NewHistogram(maxAttempts),
+	}
+}
+
+// MeanOccupancy returns the average sampled occupancy.
+func (s *DirStats) MeanOccupancy() float64 {
+	if s.OccupancySamples == 0 {
+		return 0
+	}
+	return s.OccupancySum / float64(s.OccupancySamples)
+}
+
+// InvalidationRate returns forced invalidation events as a fraction of
+// directory entry insertions — the metric of Figure 12 ("we present the
+// invalidation rate as a fraction of directory entry insertions").
+func (s *DirStats) InvalidationRate() float64 {
+	ins := s.Events.Get(EvInsertTag)
+	if ins == 0 {
+		return 0
+	}
+	return float64(s.ForcedEvictions) / float64(ins)
+}
+
+// Merge accumulates other into s (used to aggregate per-slice statistics).
+func (s *DirStats) Merge(other *DirStats) {
+	s.Events.Merge(other.Events)
+	s.Attempts.Merge(other.Attempts)
+	s.ForcedEvictions += other.ForcedEvictions
+	s.ForcedBlocks += other.ForcedBlocks
+	s.OccupancySum += other.OccupancySum
+	s.OccupancySamples += other.OccupancySamples
+}
+
+// Directory is one slice of the distributed Cuckoo directory: a d-ary
+// cuckoo table whose entries map a block address to the bit mask of caches
+// sharing the block.
+type Directory struct {
+	t            *Table[uint64]
+	numCaches    int
+	stats        *DirStats
+	lastAttempts int
+}
+
+// NewDirectory creates an empty Cuckoo directory slice.
+func NewDirectory(cfg DirConfig) *Directory {
+	if cfg.NumCaches <= 0 || cfg.NumCaches > 64 {
+		panic(fmt.Sprintf("core: NumCaches = %d, need 1..64", cfg.NumCaches))
+	}
+	t := NewTable[uint64](cfg.Table)
+	return &Directory{
+		t:         t,
+		numCaches: cfg.NumCaches,
+		stats:     NewDirStats(t.Config().MaxAttempts),
+	}
+}
+
+// NumCaches returns the number of caches this slice tracks.
+func (d *Directory) NumCaches() int { return d.numCaches }
+
+// Stats returns the slice's statistics (live; callers may read at any
+// point).
+func (d *Directory) Stats() *DirStats { return d.stats }
+
+// ResetStats zeroes the statistics without touching directory contents —
+// used to discard the warm-up phase, mirroring the paper's methodology of
+// warming the micro-architectural state before measuring.
+func (d *Directory) ResetStats() {
+	d.stats = NewDirStats(d.t.Config().MaxAttempts)
+}
+
+// Len returns the number of tracked blocks.
+func (d *Directory) Len() int { return d.t.Len() }
+
+// Capacity returns the number of entry slots.
+func (d *Directory) Capacity() int { return d.t.Capacity() }
+
+// Occupancy returns the current occupancy fraction.
+func (d *Directory) Occupancy() float64 { return d.t.Occupancy() }
+
+// Lookup returns the sharer mask for addr.
+func (d *Directory) Lookup(addr uint64) (sharers uint64, ok bool) {
+	if p := d.t.Find(addr); p != nil {
+		return *p, true
+	}
+	return 0, false
+}
+
+func (d *Directory) checkCache(cache int) {
+	if cache < 0 || cache >= d.numCaches {
+		panic(fmt.Sprintf("core: cache id %d out of range [0,%d)", cache, d.numCaches))
+	}
+}
+
+// insert allocates a new entry for addr with the given sharer mask and
+// updates statistics. It returns the forced eviction, if any.
+func (d *Directory) insert(addr, mask uint64) *Forced {
+	res := d.t.Insert(addr, mask)
+	if res.Present {
+		panic("core: insert of an existing tag — caller must look up first")
+	}
+	d.stats.Events.Inc(EvInsertTag)
+	d.stats.Attempts.Add(res.Attempts)
+	d.lastAttempts = res.Attempts
+	d.stats.OccupancySum += d.t.Occupancy()
+	d.stats.OccupancySamples++
+	if res.Evicted != nil {
+		d.stats.ForcedEvictions++
+		d.stats.ForcedBlocks += uint64(popcount(res.Evicted.Val))
+		return &Forced{Addr: res.Evicted.Key, Sharers: res.Evicted.Val}
+	}
+	return nil
+}
+
+// LastAttempts returns the insertion write count of the most recent Read
+// or Write that allocated an entry (0 when the last operation allocated
+// nothing). The timing model uses it to charge insertion occupancy.
+func (d *Directory) LastAttempts() int { return d.lastAttempts }
+
+// Read records a read (fill) of addr by cache: the cache becomes a sharer,
+// allocating a directory entry if the block was untracked. The returned
+// Forced is non-nil when the allocation displaced an entry out of the
+// directory.
+func (d *Directory) Read(addr uint64, cache int) *Forced {
+	d.checkCache(cache)
+	d.lastAttempts = 0
+	bit := uint64(1) << uint(cache)
+	if p := d.t.Find(addr); p != nil {
+		if *p&bit == 0 {
+			*p |= bit
+			d.stats.Events.Inc(EvAddSharer)
+		}
+		return nil
+	}
+	return d.insert(addr, bit)
+}
+
+// Write records a write (exclusive fill or upgrade) of addr by cache. The
+// returned invalidate mask lists the other caches that must invalidate
+// their copies; forced is as for Read.
+func (d *Directory) Write(addr uint64, cache int) (invalidate uint64, forced *Forced) {
+	d.checkCache(cache)
+	d.lastAttempts = 0
+	bit := uint64(1) << uint(cache)
+	if p := d.t.Find(addr); p != nil {
+		inv := *p &^ bit
+		if inv != 0 {
+			d.stats.Events.Inc(EvInvalidate)
+		} else if *p&bit == 0 {
+			d.stats.Events.Inc(EvAddSharer)
+		}
+		*p = bit
+		return inv, nil
+	}
+	return 0, d.insert(addr, bit)
+}
+
+// Evict records that cache no longer holds addr (clean or dirty eviction;
+// the directory treats both alike, §5.2: "dirty and clean evictions from
+// the private caches are tracked by the directory"). The entry is freed
+// when its last sharer leaves. Unknown addresses are ignored: the block
+// may have been forcibly evicted from the directory earlier.
+func (d *Directory) Evict(addr uint64, cache int) {
+	d.checkCache(cache)
+	bit := uint64(1) << uint(cache)
+	p := d.t.Find(addr)
+	if p == nil || *p&bit == 0 {
+		return
+	}
+	*p &^= bit
+	d.stats.Events.Inc(EvRemoveSharer)
+	if *p == 0 {
+		d.t.Delete(addr)
+		d.stats.Events.Inc(EvRemoveTag)
+	}
+}
+
+// ForEach iterates over tracked (addr, sharer mask) pairs.
+func (d *Directory) ForEach(fn func(addr, sharers uint64) bool) {
+	d.t.ForEach(func(e Entry[uint64]) bool { return fn(e.Key, e.Val) })
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,353 @@
+// Package core implements the paper's primary contribution: the d-ary
+// Cuckoo hash table (§4.1, Fotakis et al.'s generalization of Pagh and
+// Rodler's cuckoo hash) and the Cuckoo coherence directory built on it
+// (§4.2).
+//
+// The table is the hardware structure of Figure 6: W direct-mapped ways,
+// each indexed by its own hash function. Lookup probes all ways in
+// parallel (modelled as a scan; the energy model accounts for the parallel
+// read). Insertion displaces conflicting entries to their alternate ways —
+// the property that breaks the transitivity of set conflicts (§4) — with a
+// bounded attempt budget; when the budget is exhausted the most recently
+// displaced entry is discarded, which for a directory means forcibly
+// invalidating the blocks it tracked.
+//
+// Two extensions discussed in the paper's related work are available for
+// ablation studies: bucketized ways (Panigrahy [30], BucketSize > 1) and a
+// victim stash (Kirsch et al. [22], StashSize > 0).
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cuckoodir/internal/hashfn"
+)
+
+// DefaultMaxAttempts is the insertion write budget used throughout the
+// paper's evaluation ("we allow up to 32 insertion attempts to ensure
+// termination in the unlikely event of a loop", §5.2).
+const DefaultMaxAttempts = 32
+
+// Config describes a d-ary cuckoo table.
+type Config struct {
+	// Ways is d, the number of direct-mapped ways. The paper evaluates 2-8
+	// and selects 3- or 4-way designs. Must be >= 2.
+	Ways int
+	// SetsPerWay is the number of sets in each way; must be a power of two.
+	SetsPerWay int
+	// BucketSize is the number of entries per set of each way. 1 is the
+	// paper's design; larger values are the Panigrahy ablation. Defaults
+	// to 1.
+	BucketSize int
+	// MaxAttempts bounds the number of entry writes an insertion may
+	// perform. Defaults to DefaultMaxAttempts.
+	MaxAttempts int
+	// Hash is the per-way hash family. Defaults to the Seznec-Bodin
+	// skewing family sized for SetsPerWay, matching the paper's final
+	// design choice (§5.5).
+	Hash hashfn.Family
+	// StashSize is the number of overflow entries held in a victim stash
+	// CAM. 0 (the default) disables the stash, as the paper concludes the
+	// directory "does not benefit from a stash".
+	StashSize int
+}
+
+// normalize validates cfg and fills defaults.
+func (c Config) normalize() Config {
+	if c.Ways < 2 {
+		panic(fmt.Sprintf("core: Ways = %d, need >= 2", c.Ways))
+	}
+	if c.SetsPerWay <= 0 || c.SetsPerWay&(c.SetsPerWay-1) != 0 {
+		panic(fmt.Sprintf("core: SetsPerWay = %d, need a positive power of two", c.SetsPerWay))
+	}
+	if c.BucketSize == 0 {
+		c.BucketSize = 1
+	}
+	if c.BucketSize < 0 {
+		panic("core: negative BucketSize")
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.MaxAttempts < 1 {
+		panic("core: MaxAttempts must be >= 1")
+	}
+	if c.StashSize < 0 {
+		panic("core: negative StashSize")
+	}
+	if c.Hash == nil {
+		c.Hash = hashfn.NewSkew(bits.TrailingZeros(uint(c.SetsPerWay)))
+	}
+	return c
+}
+
+// Entry is a key/value pair stored in the table.
+type Entry[V any] struct {
+	Key uint64
+	Val V
+}
+
+type slot[V any] struct {
+	key   uint64
+	val   V
+	valid bool
+}
+
+// Result reports the outcome of an Insert.
+type Result[V any] struct {
+	// Present is true when the key was already in the table; its value was
+	// updated and nothing else happened.
+	Present bool
+	// Attempts is the number of entry writes the insertion performed
+	// (1 when a vacant slot was visible during the preceding lookup, the
+	// cap when the procedure was terminated). 0 when Present.
+	Attempts int
+	// Evicted is the entry the table discarded because the attempt budget
+	// ran out, or nil. A directory must invalidate the private-cache
+	// blocks this entry tracked ("maintaining correctness by invalidating
+	// the blocks in the private caches that correspond to the evicted
+	// entry", §4.2).
+	Evicted *Entry[V]
+	// Stashed is true when the would-be evicted entry was parked in the
+	// victim stash instead of discarded (only with StashSize > 0).
+	Stashed bool
+}
+
+// Table is a d-ary cuckoo hash table with uint64 keys.
+// It is not safe for concurrent use; each directory slice owns one.
+type Table[V any] struct {
+	cfg     Config
+	mask    uint64
+	slots   []slot[V]
+	used    int
+	nextWay int
+	rot     int // rotating victim-slot choice within a bucket
+	stash   []Entry[V]
+}
+
+// NewTable creates an empty table from cfg (which is validated and given
+// defaults).
+func NewTable[V any](cfg Config) *Table[V] {
+	cfg = cfg.normalize()
+	t := &Table[V]{
+		cfg:   cfg,
+		mask:  uint64(cfg.SetsPerWay - 1),
+		slots: make([]slot[V], cfg.Ways*cfg.SetsPerWay*cfg.BucketSize),
+	}
+	if cfg.StashSize > 0 {
+		t.stash = make([]Entry[V], 0, cfg.StashSize)
+	}
+	return t
+}
+
+// Config returns the normalized configuration.
+func (t *Table[V]) Config() Config { return t.cfg }
+
+// Capacity returns the number of entry slots (excluding any stash).
+func (t *Table[V]) Capacity() int {
+	return t.cfg.Ways * t.cfg.SetsPerWay * t.cfg.BucketSize
+}
+
+// Len returns the number of valid entries (excluding any stash).
+func (t *Table[V]) Len() int { return t.used }
+
+// StashLen returns the number of entries currently parked in the stash.
+func (t *Table[V]) StashLen() int { return len(t.stash) }
+
+// Occupancy returns Len/Capacity.
+func (t *Table[V]) Occupancy() float64 {
+	return float64(t.used) / float64(t.Capacity())
+}
+
+// index returns the set index of key in the given way.
+func (t *Table[V]) index(way int, key uint64) int {
+	return int(t.cfg.Hash.Hash(way, key) & t.mask)
+}
+
+// bucketBase returns the slot offset of (way, set).
+func (t *Table[V]) bucketBase(way, set int) int {
+	return (way*t.cfg.SetsPerWay + set) * t.cfg.BucketSize
+}
+
+// Find returns a pointer to the value stored under key, or nil. The
+// pointer is invalidated by any subsequent mutation of the table.
+func (t *Table[V]) Find(key uint64) *V {
+	for w := 0; w < t.cfg.Ways; w++ {
+		base := t.bucketBase(w, t.index(w, key))
+		for b := 0; b < t.cfg.BucketSize; b++ {
+			s := &t.slots[base+b]
+			if s.valid && s.key == key {
+				return &s.val
+			}
+		}
+	}
+	for i := range t.stash {
+		if t.stash[i].Key == key {
+			return &t.stash[i].Val
+		}
+	}
+	return nil
+}
+
+// Contains reports whether key is stored in the table or stash.
+func (t *Table[V]) Contains(key uint64) bool { return t.Find(key) != nil }
+
+// Insert stores val under key.
+//
+// The procedure follows §4.2: a lookup precedes the insertion; if the
+// lookup reveals a vacant eligible slot the entry is written there and the
+// insertion counts one attempt. Otherwise entries are iteratively
+// displaced, starting at the way where the previous insertion stopped and
+// advancing cyclically, each write counting one attempt, until a displaced
+// entry lands in a vacant slot or the budget is exhausted — in which case
+// the most recently displaced entry is discarded (or stashed).
+func (t *Table[V]) Insert(key uint64, val V) Result[V] {
+	// Lookup pass: find the key or a vacant slot. Ways are scanned from
+	// nextWay so vacancy selection also rotates, keeping the distribution
+	// of entries across ways uniform.
+	vacantWay, vacantSlot := -1, -1
+	for i := 0; i < t.cfg.Ways; i++ {
+		w := (t.nextWay + i) % t.cfg.Ways
+		base := t.bucketBase(w, t.index(w, key))
+		for b := 0; b < t.cfg.BucketSize; b++ {
+			s := &t.slots[base+b]
+			if s.valid && s.key == key {
+				s.val = val
+				return Result[V]{Present: true}
+			}
+			if !s.valid && vacantWay == -1 {
+				vacantWay, vacantSlot = w, base+b
+			}
+		}
+	}
+	for i := range t.stash {
+		if t.stash[i].Key == key {
+			t.stash[i].Val = val
+			return Result[V]{Present: true}
+		}
+	}
+
+	if vacantWay != -1 {
+		t.slots[vacantSlot] = slot[V]{key: key, val: val, valid: true}
+		t.used++
+		t.nextWay = vacantWay
+		return Result[V]{Attempts: 1}
+	}
+
+	// Displacement loop.
+	cur := Entry[V]{Key: key, Val: val}
+	w := t.nextWay
+	for attempt := 1; attempt <= t.cfg.MaxAttempts; attempt++ {
+		base := t.bucketBase(w, t.index(w, cur.Key))
+		// A displaced entry may find a vacancy in its new bucket.
+		placed := false
+		for b := 0; b < t.cfg.BucketSize; b++ {
+			s := &t.slots[base+b]
+			if !s.valid {
+				*s = slot[V]{key: cur.Key, val: cur.Val, valid: true}
+				t.used++
+				t.nextWay = w
+				placed = true
+				break
+			}
+		}
+		if placed {
+			return Result[V]{Attempts: attempt}
+		}
+		if attempt == t.cfg.MaxAttempts {
+			// Budget exhausted: cur is the most recently displaced entry;
+			// discard or stash it.
+			t.nextWay = w
+			if len(t.stash) < cap(t.stash) {
+				t.stash = append(t.stash, cur)
+				return Result[V]{Attempts: attempt, Stashed: true}
+			}
+			victim := cur
+			return Result[V]{Attempts: attempt, Evicted: &victim}
+		}
+		// Swap cur with a victim from the bucket (rotating choice when
+		// buckets hold more than one entry) and continue in the next way.
+		vs := &t.slots[base+t.rot%t.cfg.BucketSize]
+		t.rot++
+		cur, vs.key, vs.val = Entry[V]{Key: vs.key, Val: vs.val}, cur.Key, cur.Val
+		w = (w + 1) % t.cfg.Ways
+	}
+	panic("core: unreachable")
+}
+
+// Delete removes key from the table (or stash) and reports whether it was
+// present. When the delete frees a slot and the stash holds entries, one
+// stash entry eligible for the freed position is opportunistically moved
+// back into the table.
+func (t *Table[V]) Delete(key uint64) bool {
+	for w := 0; w < t.cfg.Ways; w++ {
+		base := t.bucketBase(w, t.index(w, key))
+		for b := 0; b < t.cfg.BucketSize; b++ {
+			s := &t.slots[base+b]
+			if s.valid && s.key == key {
+				var zero slot[V]
+				*s = zero
+				t.used--
+				t.drainStashInto(base + b)
+				return true
+			}
+		}
+	}
+	for i := range t.stash {
+		if t.stash[i].Key == key {
+			t.stash[i] = t.stash[len(t.stash)-1]
+			t.stash = t.stash[:len(t.stash)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// drainStashInto moves the first stash entry that hashes to the freed slot
+// back into the table. slotIdx identifies the freed slot.
+func (t *Table[V]) drainStashInto(slotIdx int) {
+	if len(t.stash) == 0 {
+		return
+	}
+	way := slotIdx / (t.cfg.SetsPerWay * t.cfg.BucketSize)
+	set := (slotIdx / t.cfg.BucketSize) % t.cfg.SetsPerWay
+	for i := range t.stash {
+		if t.index(way, t.stash[i].Key) == set {
+			t.slots[slotIdx] = slot[V]{key: t.stash[i].Key, val: t.stash[i].Val, valid: true}
+			t.used++
+			t.stash[i] = t.stash[len(t.stash)-1]
+			t.stash = t.stash[:len(t.stash)-1]
+			return
+		}
+	}
+}
+
+// ForEach calls fn for every entry (table then stash) until fn returns
+// false. Iteration order is unspecified but deterministic.
+func (t *Table[V]) ForEach(fn func(Entry[V]) bool) {
+	for i := range t.slots {
+		if t.slots[i].valid {
+			if !fn(Entry[V]{Key: t.slots[i].key, Val: t.slots[i].val}) {
+				return
+			}
+		}
+	}
+	for _, e := range t.stash {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Clear removes all entries.
+func (t *Table[V]) Clear() {
+	for i := range t.slots {
+		var zero slot[V]
+		t.slots[i] = zero
+	}
+	t.stash = t.stash[:0]
+	t.used = 0
+	t.nextWay = 0
+	t.rot = 0
+}

@@ -1,0 +1,67 @@
+package directory
+
+import "cuckoodir/internal/core"
+
+// Cuckoo adapts the core Cuckoo directory (the paper's contribution) to
+// the common Directory interface.
+type Cuckoo struct {
+	d *core.Directory
+}
+
+// NewCuckoo builds a Cuckoo directory slice.
+func NewCuckoo(cfg core.DirConfig) *Cuckoo {
+	return &Cuckoo{d: core.NewDirectory(cfg)}
+}
+
+// Name implements Directory.
+func (c *Cuckoo) Name() string { return "cuckoo" }
+
+// NumCaches implements Directory.
+func (c *Cuckoo) NumCaches() int { return c.d.NumCaches() }
+
+// Read implements Directory.
+func (c *Cuckoo) Read(addr uint64, cache int) Op {
+	var op Op
+	if f := c.d.Read(addr, cache); f != nil {
+		op.Forced = append(op.Forced, *f)
+	}
+	op.Attempts = c.d.LastAttempts()
+	return op
+}
+
+// Write implements Directory.
+func (c *Cuckoo) Write(addr uint64, cache int) Op {
+	inv, f := c.d.Write(addr, cache)
+	op := Op{Invalidate: inv, Attempts: c.d.LastAttempts()}
+	if f != nil {
+		op.Forced = append(op.Forced, *f)
+	}
+	return op
+}
+
+// Evict implements Directory.
+func (c *Cuckoo) Evict(addr uint64, cache int) { c.d.Evict(addr, cache) }
+
+// Lookup implements Directory.
+func (c *Cuckoo) Lookup(addr uint64) (uint64, bool) { return c.d.Lookup(addr) }
+
+// Stats implements Directory.
+func (c *Cuckoo) Stats() *Stats { return c.d.Stats() }
+
+// ResetStats implements Directory.
+func (c *Cuckoo) ResetStats() { c.d.ResetStats() }
+
+// Capacity implements Directory.
+func (c *Cuckoo) Capacity() int { return c.d.Capacity() }
+
+// Len implements Directory.
+func (c *Cuckoo) Len() int { return c.d.Len() }
+
+// ForEach implements Directory.
+func (c *Cuckoo) ForEach(fn func(addr, sharers uint64) bool) { c.d.ForEach(fn) }
+
+// Inner exposes the underlying core directory for tests and experiments
+// that need Cuckoo-specific detail (attempt histograms).
+func (c *Cuckoo) Inner() *core.Directory { return c.d }
+
+var _ Directory = (*Cuckoo)(nil)

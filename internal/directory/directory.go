@@ -1,0 +1,91 @@
+// Package directory defines the common interface of all coherence
+// directory organizations the paper evaluates (§3, §5.4) and implements
+// every competitor: the Sparse directory (Gupta et al.), the
+// skewed-associative directory (Seznec), the Duplicate-Tag directory
+// (Piranha), the Tagless directory (Zebchuk et al.), the inclusive
+// in-cache directory, and an ideal (unbounded, exact) reference. The
+// Cuckoo directory from internal/core is adapted to the same interface.
+//
+// All organizations track sharers exactly or as supersets using uint64
+// masks (at most 64 caches — the functional simulator's regime; compressed
+// per-entry formats are modelled by internal/sharer and costed by
+// internal/energy).
+package directory
+
+import (
+	"cuckoodir/internal/core"
+)
+
+// Forced re-exports the directory-initiated eviction record.
+type Forced = core.Forced
+
+// Stats re-exports the shared per-directory statistics record.
+type Stats = core.DirStats
+
+// Op is the outcome of a Read or Write directory operation.
+type Op struct {
+	// Invalidate is the mask of caches that must invalidate their copy of
+	// the accessed block (writes only). For inexact organizations
+	// (Tagless) this may be a superset of the true holders.
+	Invalidate uint64
+	// Forced lists entries the directory itself evicted to make room;
+	// each listed block must be invalidated in all its sharer caches.
+	// This is the event Figure 12 counts.
+	Forced []Forced
+	// Attempts is the number of entry writes the operation's insertion
+	// performed (0 when no entry was allocated, 1 for conventional
+	// organizations, up to the attempt cap for Cuckoo displacement
+	// chains). The timing model uses it to charge insertion occupancy.
+	Attempts int
+}
+
+// Directory is a single address-interleaved directory slice.
+//
+// The caller (one coherence controller, or the functional simulator)
+// drives it with the private-cache event stream:
+//
+//   - Read(addr, c): cache c fills the block for reading; c becomes a
+//     sharer, allocating an entry if the block was untracked.
+//   - Write(addr, c): cache c fills or upgrades the block for writing; all
+//     other sharers must be invalidated (the returned mask), and c becomes
+//     the sole tracked owner.
+//   - Evict(addr, c): cache c has evicted the block (clean or dirty, or in
+//     acknowledgement of an invalidation).
+//
+// Implementations are not safe for concurrent use.
+type Directory interface {
+	// Name identifies the organization ("cuckoo", "sparse", ...).
+	Name() string
+	// NumCaches returns the number of caches tracked.
+	NumCaches() int
+	// Read records a read fill by cache.
+	Read(addr uint64, cache int) Op
+	// Write records a write fill/upgrade by cache.
+	Write(addr uint64, cache int) Op
+	// Evict records an eviction by cache.
+	Evict(addr uint64, cache int)
+	// Lookup returns the (possibly superset) sharer mask for addr.
+	Lookup(addr uint64) (sharers uint64, ok bool)
+	// Stats returns live statistics.
+	Stats() *Stats
+	// ResetStats zeroes statistics without touching contents (end of
+	// warm-up).
+	ResetStats()
+	// Capacity returns the number of entry slots (0 when unbounded).
+	Capacity() int
+	// Len returns the number of tracked blocks.
+	Len() int
+	// ForEach visits every tracked (addr, sharer mask) pair until fn
+	// returns false. Iteration order is unspecified.
+	ForEach(fn func(addr, sharers uint64) bool)
+}
+
+// bit returns the sharer mask bit for a cache id.
+func bit(cache int) uint64 { return 1 << uint(cache) }
+
+// checkCache panics when cache is outside [0, n).
+func checkCache(cache, n int) {
+	if cache < 0 || cache >= n {
+		panic("directory: cache id out of range")
+	}
+}

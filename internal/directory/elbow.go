@@ -1,0 +1,232 @@
+package directory
+
+import (
+	"math/bits"
+
+	"cuckoodir/internal/core"
+	"cuckoodir/internal/hashfn"
+)
+
+// Elbow implements the Elbow cache of Spjuth, Karlsson and Hagersten
+// (paper §6) as a directory organization: a skewed-associative structure
+// that, on a set conflict, performs AT MOST ONE displacement — it scans
+// the conflicting candidates for one whose alternate location is vacant,
+// moves it there, and inserts into the freed slot. If no candidate can
+// move, the LRU candidate is evicted.
+//
+// The paper positions it between Skewed (no displacement) and Cuckoo
+// (unbounded displacement chains): "the Elbow cache is limited to one
+// displacement per insertion and requires multiple lookups to select a
+// displacement victim, resulting in a complex and power-hungry design
+// that experiences more forced invalidations than the Cuckoo directory."
+// The elbow experiment measures exactly that ordering.
+type Elbow struct {
+	ways      int
+	sets      int
+	hash      hashfn.Family
+	mask      uint64
+	slots     []saEntry
+	used      int
+	lruClock  uint64
+	numCaches int
+	stats     *Stats
+	// Displacements counts successful single-displacement insertions
+	// (each costs the extra lookups the paper calls out).
+	Displacements uint64
+}
+
+// NewElbow builds an Elbow directory slice.
+func NewElbow(ways, sets, numCaches int) *Elbow {
+	if ways <= 1 {
+		panic("directory: Elbow needs >= 2 ways")
+	}
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("directory: sets must be a power of two")
+	}
+	if numCaches <= 0 || numCaches > 64 {
+		panic("directory: numCaches out of range")
+	}
+	return &Elbow{
+		ways:      ways,
+		sets:      sets,
+		hash:      hashfn.NewSkew(bits.TrailingZeros(uint(sets))),
+		mask:      uint64(sets - 1),
+		slots:     make([]saEntry, ways*sets),
+		numCaches: numCaches,
+		stats:     core.NewDirStats(2),
+	}
+}
+
+// Name implements Directory.
+func (e *Elbow) Name() string { return "elbow" }
+
+// NumCaches implements Directory.
+func (e *Elbow) NumCaches() int { return e.numCaches }
+
+// Capacity implements Directory.
+func (e *Elbow) Capacity() int { return e.ways * e.sets }
+
+// Len implements Directory.
+func (e *Elbow) Len() int { return e.used }
+
+// Stats implements Directory.
+func (e *Elbow) Stats() *Stats { return e.stats }
+
+// ResetStats implements Directory.
+func (e *Elbow) ResetStats() {
+	e.stats = core.NewDirStats(2)
+	e.Displacements = 0
+}
+
+func (e *Elbow) slotIdx(way int, addr uint64) int {
+	return way*e.sets + int(e.hash.Hash(way, addr)&e.mask)
+}
+
+func (e *Elbow) find(addr uint64) *saEntry {
+	for w := 0; w < e.ways; w++ {
+		s := &e.slots[e.slotIdx(w, addr)]
+		if s.valid && s.addr == addr {
+			return s
+		}
+	}
+	return nil
+}
+
+// Lookup implements Directory.
+func (e *Elbow) Lookup(addr uint64) (uint64, bool) {
+	if s := e.find(addr); s != nil {
+		return s.sharers, true
+	}
+	return 0, false
+}
+
+// ForEach implements Directory.
+func (e *Elbow) ForEach(fn func(addr, sharers uint64) bool) {
+	for i := range e.slots {
+		if e.slots[i].valid {
+			if !fn(e.slots[i].addr, e.slots[i].sharers) {
+				return
+			}
+		}
+	}
+}
+
+func (e *Elbow) touch(s *saEntry) {
+	e.lruClock++
+	s.lru = e.lruClock
+}
+
+// insert places addr, displacing at most one conflicting entry.
+func (e *Elbow) insert(addr, sharers uint64) *Forced {
+	attempts := 1
+	var target *saEntry
+	// Vacant candidate slot?
+	for w := 0; w < e.ways; w++ {
+		s := &e.slots[e.slotIdx(w, addr)]
+		if !s.valid {
+			target = s
+			break
+		}
+	}
+	if target == nil {
+		// One elbow move: find a candidate whose alternate slot is free.
+	scan:
+		for w := 0; w < e.ways && target == nil; w++ {
+			victim := &e.slots[e.slotIdx(w, addr)]
+			for w2 := 0; w2 < e.ways; w2++ {
+				if w2 == w {
+					continue
+				}
+				alt := &e.slots[e.slotIdx(w2, victim.addr)]
+				if !alt.valid {
+					*alt = *victim
+					victim.valid = false
+					target = victim
+					e.Displacements++
+					attempts = 2
+					break scan
+				}
+			}
+		}
+	}
+	var forced *Forced
+	if target == nil {
+		// Evict the LRU candidate.
+		target = &e.slots[e.slotIdx(0, addr)]
+		for w := 1; w < e.ways; w++ {
+			s := &e.slots[e.slotIdx(w, addr)]
+			if s.lru < target.lru {
+				target = s
+			}
+		}
+		forced = &Forced{Addr: target.addr, Sharers: target.sharers}
+		e.used--
+		e.stats.ForcedEvictions++
+		e.stats.ForcedBlocks += uint64(bits.OnesCount64(target.sharers))
+	}
+	*target = saEntry{addr: addr, sharers: sharers, valid: true}
+	e.touch(target)
+	e.used++
+	e.stats.Events.Inc(core.EvInsertTag)
+	e.stats.Attempts.Add(attempts)
+	e.stats.OccupancySum += float64(e.used) / float64(e.Capacity())
+	e.stats.OccupancySamples++
+	return forced
+}
+
+// Read implements Directory.
+func (e *Elbow) Read(addr uint64, cache int) Op {
+	checkCache(cache, e.numCaches)
+	if s := e.find(addr); s != nil {
+		if s.sharers&bit(cache) == 0 {
+			s.sharers |= bit(cache)
+			e.stats.Events.Inc(core.EvAddSharer)
+		}
+		e.touch(s)
+		return Op{}
+	}
+	op := Op{Attempts: 1}
+	if f := e.insert(addr, bit(cache)); f != nil {
+		op.Forced = append(op.Forced, *f)
+	}
+	return op
+}
+
+// Write implements Directory.
+func (e *Elbow) Write(addr uint64, cache int) Op {
+	checkCache(cache, e.numCaches)
+	if s := e.find(addr); s != nil {
+		inv := s.sharers &^ bit(cache)
+		if inv != 0 {
+			e.stats.Events.Inc(core.EvInvalidate)
+		} else if s.sharers&bit(cache) == 0 {
+			e.stats.Events.Inc(core.EvAddSharer)
+		}
+		s.sharers = bit(cache)
+		e.touch(s)
+		return Op{Invalidate: inv}
+	}
+	op := Op{Attempts: 1}
+	if f := e.insert(addr, bit(cache)); f != nil {
+		op.Forced = append(op.Forced, *f)
+	}
+	return op
+}
+
+// Evict implements Directory.
+func (e *Elbow) Evict(addr uint64, cache int) {
+	checkCache(cache, e.numCaches)
+	s := e.find(addr)
+	if s == nil || s.sharers&bit(cache) == 0 {
+		return
+	}
+	s.sharers &^= bit(cache)
+	e.stats.Events.Inc(core.EvRemoveSharer)
+	if s.sharers == 0 {
+		s.valid = false
+		e.used--
+		e.stats.Events.Inc(core.EvRemoveTag)
+	}
+}
+
+var _ Directory = (*Elbow)(nil)

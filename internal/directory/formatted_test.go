@@ -1,0 +1,174 @@
+package directory
+
+import (
+	"testing"
+
+	"cuckoodir/internal/core"
+	"cuckoodir/internal/rng"
+	"cuckoodir/internal/sharer"
+)
+
+func fmtCfg() core.Config { return core.Config{Ways: 4, SetsPerWay: 128} }
+
+func formats() []sharer.Format {
+	return []sharer.Format{
+		sharer.FullFormat(),
+		sharer.CoarseFormat(),
+		sharer.LimitedFormat(4),
+		sharer.HierFormat(),
+	}
+}
+
+func TestFormattedBasicFlow(t *testing.T) {
+	for _, f := range formats() {
+		d := NewFormattedCuckoo(fmtCfg(), f, 16)
+		t.Run(d.Name(), func(t *testing.T) {
+			d.Read(0x10, 2)
+			d.Read(0x10, 5)
+			m, ok := d.Lookup(0x10)
+			if !ok || m&(1<<2) == 0 || m&(1<<5) == 0 {
+				t.Fatalf("Lookup = %#x", m)
+			}
+			op := d.Write(0x10, 2)
+			if op.Invalidate&(1<<5) == 0 {
+				t.Fatalf("missing invalidation of cache 5: %#x", op.Invalidate)
+			}
+			if op.Invalidate&(1<<2) != 0 {
+				t.Fatal("writer invalidated itself")
+			}
+			d.Evict(0x10, 2)
+			if _, ok := d.Lookup(0x10); ok {
+				t.Fatal("entry should be freed after last exact sharer left")
+			}
+		})
+	}
+}
+
+// TestFormattedNeverUnderApproximates drives random traffic and checks
+// that the format view always covers the true holders — the coherence
+// safety property.
+func TestFormattedNeverUnderApproximates(t *testing.T) {
+	const numCaches = 32
+	for _, f := range formats() {
+		d := NewFormattedCuckoo(core.Config{Ways: 4, SetsPerWay: 256}, f, numCaches)
+		t.Run(d.Name(), func(t *testing.T) {
+			truth := make(map[uint64]uint64)
+			r := rng.New(777)
+			for step := 0; step < 30000; step++ {
+				addr := uint64(r.Intn(2048))
+				c := r.Intn(numCaches)
+				switch r.Intn(4) {
+				case 0, 1:
+					op := d.Read(addr, c)
+					truth[addr] |= 1 << uint(c)
+					for _, fo := range op.Forced {
+						delete(truth, fo.Addr)
+					}
+				case 2:
+					op := d.Write(addr, c)
+					truth[addr] = 1 << uint(c)
+					for _, fo := range op.Forced {
+						delete(truth, fo.Addr)
+					}
+				case 3:
+					if truth[addr]&(1<<uint(c)) != 0 {
+						d.Evict(addr, c)
+						truth[addr] &^= 1 << uint(c)
+						if truth[addr] == 0 {
+							delete(truth, addr)
+						}
+					}
+				}
+				if step%1009 == 0 {
+					for a, m := range truth {
+						got, _ := d.Lookup(a)
+						if got&m != m {
+							t.Fatalf("step %d: %s lost sharers of %#x: %#x !superset %#x",
+								step, d.Name(), a, got, m)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFormattedSpuriousInvalidations(t *testing.T) {
+	// Overflow a coarse entry, remove a true sharer, then write: the
+	// coarse region bits must produce spurious invalidations.
+	d := NewFormattedCuckoo(fmtCfg(), sharer.CoarseFormat(), 32)
+	for c := 0; c < 6; c++ {
+		d.Read(0x77, c) // overflows the 2-pointer mode into coarse
+	}
+	d.Evict(0x77, 0) // true holder leaves; coarse view cannot shrink
+	op := d.Write(0x77, 5)
+	if op.Invalidate == 0 {
+		t.Fatal("no invalidations")
+	}
+	if d.SpuriousInvalidations == 0 {
+		t.Fatal("coarse overflow produced no spurious invalidations")
+	}
+	// A full-vector directory on the same trace has none.
+	full := NewFormattedCuckoo(fmtCfg(), sharer.FullFormat(), 32)
+	for c := 0; c < 6; c++ {
+		full.Read(0x77, c)
+	}
+	full.Evict(0x77, 0)
+	full.Write(0x77, 5)
+	if full.SpuriousInvalidations != 0 {
+		t.Fatalf("full format counted %d spurious invalidations", full.SpuriousInvalidations)
+	}
+}
+
+func TestFormattedDeadEntries(t *testing.T) {
+	// With a coarse format, evicting all true sharers of an overflowed
+	// entry leaves it resident (dead) until an invalidate-all clears it.
+	d := NewFormattedCuckoo(fmtCfg(), sharer.CoarseFormat(), 32)
+	for c := 0; c < 4; c++ {
+		d.Read(0xb0, c)
+	}
+	for c := 0; c < 4; c++ {
+		d.Evict(0xb0, c)
+	}
+	if _, ok := d.Lookup(0xb0); !ok {
+		t.Skip("region bits happened to clear exactly; acceptable")
+	}
+	if d.DeadEntries() == 0 {
+		t.Fatal("expected a dead entry with coarse format")
+	}
+	// A write reclaims it: invalidate-all then exclusive.
+	d.Write(0xb0, 7)
+	if d.DeadEntries() != 0 {
+		t.Fatal("write did not revive/clean the entry")
+	}
+}
+
+func TestFormattedForcedEvictionReportsFormatView(t *testing.T) {
+	// Forced eviction must report the format's (superset) sharer mask so
+	// the system can invalidate every potential holder.
+	d := NewFormattedCuckoo(core.Config{Ways: 2, SetsPerWay: 16, Hash: xorFold{}}, sharer.CoarseFormat(), 16)
+	for c := 0; c < 5; c++ {
+		d.Read(0x3, c) // coarse overflow on block 3
+	}
+	d.Read(0x13, 8)
+	op := d.Read(0x23, 9) // conflict class full -> forced eviction
+	if len(op.Forced) != 1 {
+		t.Fatalf("Forced = %v", op.Forced)
+	}
+	if op.Forced[0].Addr == 0x3 {
+		m := op.Forced[0].Sharers
+		for c := 0; c < 5; c++ {
+			if m&(1<<uint(c)) == 0 {
+				t.Fatalf("forced mask %#x misses true sharer %d", m, c)
+			}
+		}
+	}
+}
+
+// xorFold adapts the identity hash for conflict tests without importing
+// hashfn (avoids an import cycle risk in this package's tests... none
+// exists, but the tiny local type also documents the intent).
+type xorFold struct{}
+
+func (xorFold) Name() string                  { return "xorfold" }
+func (xorFold) Hash(_ int, key uint64) uint64 { return key }

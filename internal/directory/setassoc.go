@@ -1,0 +1,222 @@
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cuckoodir/internal/core"
+	"cuckoodir/internal/hashfn"
+)
+
+// setAssoc implements both classic Sparse and skewed-associative
+// directories; the two differ only in how ways are indexed:
+//
+//   - Sparse (Gupta et al. [17], §3.2): every way uses the same low-order
+//     index bits, so a set is A physically adjacent slots and conflicts
+//     are transitive. On overflow the LRU entry of the set is evicted,
+//     forcing invalidation of the cached blocks it tracked.
+//   - Skewed (Seznec [33], §5.4's "Skewed 2x"): each way has its own
+//     Seznec-Bodin hash, which breaks much of the conflict transitivity,
+//     but — unlike the Cuckoo directory — insertion still picks a victim
+//     from the A candidate slots rather than displacing entries to their
+//     alternate locations. Victims are the LRU candidate.
+type setAssoc struct {
+	name      string
+	ways      int
+	sets      int
+	hash      hashfn.Family
+	mask      uint64
+	slots     []saEntry
+	used      int
+	lruClock  uint64
+	numCaches int
+	stats     *Stats
+}
+
+type saEntry struct {
+	addr    uint64
+	sharers uint64
+	lru     uint64
+	valid   bool
+}
+
+// NewSparse builds a classic Sparse directory slice with the given
+// associativity and set count (capacity = ways*sets).
+func NewSparse(ways, sets, numCaches int) Directory {
+	return newSetAssoc("sparse", ways, sets, numCaches, hashfn.XorFold{})
+}
+
+// NewSkewed builds a skewed-associative directory slice.
+func NewSkewed(ways, sets, numCaches int) Directory {
+	return newSetAssoc("skewed", ways, sets, numCaches,
+		hashfn.NewSkew(bits.TrailingZeros(uint(sets))))
+}
+
+func newSetAssoc(name string, ways, sets, numCaches int, h hashfn.Family) *setAssoc {
+	if ways <= 0 {
+		panic(fmt.Sprintf("directory: ways = %d", ways))
+	}
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("directory: sets = %d, need a power of two", sets))
+	}
+	if numCaches <= 0 || numCaches > 64 {
+		panic(fmt.Sprintf("directory: numCaches = %d", numCaches))
+	}
+	return &setAssoc{
+		name:      name,
+		ways:      ways,
+		sets:      sets,
+		hash:      h,
+		mask:      uint64(sets - 1),
+		slots:     make([]saEntry, ways*sets),
+		numCaches: numCaches,
+		stats:     core.NewDirStats(1),
+	}
+}
+
+// Name implements Directory.
+func (s *setAssoc) Name() string { return s.name }
+
+// NumCaches implements Directory.
+func (s *setAssoc) NumCaches() int { return s.numCaches }
+
+// Capacity implements Directory.
+func (s *setAssoc) Capacity() int { return s.ways * s.sets }
+
+// Len implements Directory.
+func (s *setAssoc) Len() int { return s.used }
+
+// Stats implements Directory.
+func (s *setAssoc) Stats() *Stats { return s.stats }
+
+// ResetStats implements Directory.
+func (s *setAssoc) ResetStats() { s.stats = core.NewDirStats(1) }
+
+// slotIdx returns the slot of (way, addr).
+func (s *setAssoc) slotIdx(way int, addr uint64) int {
+	return way*s.sets + int(s.hash.Hash(way, addr)&s.mask)
+}
+
+// find returns the entry tracking addr, or nil.
+func (s *setAssoc) find(addr uint64) *saEntry {
+	for w := 0; w < s.ways; w++ {
+		e := &s.slots[s.slotIdx(w, addr)]
+		if e.valid && e.addr == addr {
+			return e
+		}
+	}
+	return nil
+}
+
+// Lookup implements Directory.
+func (s *setAssoc) Lookup(addr uint64) (uint64, bool) {
+	if e := s.find(addr); e != nil {
+		return e.sharers, true
+	}
+	return 0, false
+}
+
+// ForEach implements Directory.
+func (s *setAssoc) ForEach(fn func(addr, sharers uint64) bool) {
+	for i := range s.slots {
+		if s.slots[i].valid {
+			if !fn(s.slots[i].addr, s.slots[i].sharers) {
+				return
+			}
+		}
+	}
+}
+
+// touch updates the entry's LRU stamp.
+func (s *setAssoc) touch(e *saEntry) {
+	s.lruClock++
+	e.lru = s.lruClock
+}
+
+// insert allocates an entry for addr, evicting the LRU candidate when all
+// eligible slots are occupied.
+func (s *setAssoc) insert(addr, sharers uint64) *Forced {
+	var victim *saEntry
+	for w := 0; w < s.ways; w++ {
+		e := &s.slots[s.slotIdx(w, addr)]
+		if !e.valid {
+			victim = e
+			break
+		}
+		if victim == nil || e.lru < victim.lru {
+			victim = e
+		}
+	}
+	var forced *Forced
+	if victim.valid {
+		forced = &Forced{Addr: victim.addr, Sharers: victim.sharers}
+		s.used--
+		s.stats.ForcedEvictions++
+		s.stats.ForcedBlocks += uint64(bits.OnesCount64(victim.sharers))
+	}
+	*victim = saEntry{addr: addr, sharers: sharers, valid: true}
+	s.touch(victim)
+	s.used++
+	s.stats.Events.Inc(core.EvInsertTag)
+	s.stats.Attempts.Add(1)
+	s.stats.OccupancySum += float64(s.used) / float64(s.Capacity())
+	s.stats.OccupancySamples++
+	return forced
+}
+
+// Read implements Directory.
+func (s *setAssoc) Read(addr uint64, cache int) Op {
+	checkCache(cache, s.numCaches)
+	if e := s.find(addr); e != nil {
+		if e.sharers&bit(cache) == 0 {
+			e.sharers |= bit(cache)
+			s.stats.Events.Inc(core.EvAddSharer)
+		}
+		s.touch(e)
+		return Op{}
+	}
+	op := Op{Attempts: 1}
+	if f := s.insert(addr, bit(cache)); f != nil {
+		op.Forced = append(op.Forced, *f)
+	}
+	return op
+}
+
+// Write implements Directory.
+func (s *setAssoc) Write(addr uint64, cache int) Op {
+	checkCache(cache, s.numCaches)
+	if e := s.find(addr); e != nil {
+		inv := e.sharers &^ bit(cache)
+		if inv != 0 {
+			s.stats.Events.Inc(core.EvInvalidate)
+		} else if e.sharers&bit(cache) == 0 {
+			s.stats.Events.Inc(core.EvAddSharer)
+		}
+		e.sharers = bit(cache)
+		s.touch(e)
+		return Op{Invalidate: inv}
+	}
+	op := Op{Attempts: 1}
+	if f := s.insert(addr, bit(cache)); f != nil {
+		op.Forced = append(op.Forced, *f)
+	}
+	return op
+}
+
+// Evict implements Directory.
+func (s *setAssoc) Evict(addr uint64, cache int) {
+	checkCache(cache, s.numCaches)
+	e := s.find(addr)
+	if e == nil || e.sharers&bit(cache) == 0 {
+		return
+	}
+	e.sharers &^= bit(cache)
+	s.stats.Events.Inc(core.EvRemoveSharer)
+	if e.sharers == 0 {
+		e.valid = false
+		s.used--
+		s.stats.Events.Inc(core.EvRemoveTag)
+	}
+}
+
+var _ Directory = (*setAssoc)(nil)

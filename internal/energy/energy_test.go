@@ -1,0 +1,261 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func estimate(o Organization, sys System) Estimate {
+	return o.Estimate(sys, DefaultParams(), PaperMix())
+}
+
+func TestMixSumsToOne(t *testing.T) {
+	m := PaperMix()
+	sum := m.Insert + m.AddSharer + m.RemoveSharer + m.RemoveTag + m.Invalidate
+	if math.Abs(sum-1.0) > 0.001 {
+		t.Fatalf("paper mix sums to %f", sum)
+	}
+}
+
+func TestSystemGeometry(t *testing.T) {
+	sh := SharedL2System(16)
+	if sh.Caches() != 32 || sh.OneXSliceEntries() != 2048 {
+		t.Fatalf("shared: caches=%d 1x=%d", sh.Caches(), sh.OneXSliceEntries())
+	}
+	pr := PrivateL2System(16)
+	if pr.Caches() != 16 || pr.OneXSliceEntries() != 16384 {
+		t.Fatalf("private: caches=%d 1x=%d", pr.Caches(), pr.OneXSliceEntries())
+	}
+}
+
+func TestAllPositive(t *testing.T) {
+	for _, cores := range CoreCounts() {
+		for _, sys := range []System{SharedL2System(cores), PrivateL2System(cores)} {
+			for _, org := range Figure13Lineup(sys.CachesPerCore == 2) {
+				if !org.AppliesTo(sys) {
+					continue
+				}
+				est := estimate(org, sys)
+				if est.EnergyPerOp <= 0 || est.AreaPerCore <= 0 {
+					t.Errorf("%s @ %d cores: non-positive estimate %+v", org.Name(), cores, est)
+				}
+			}
+		}
+	}
+}
+
+func TestInCacheOnlyShared(t *testing.T) {
+	if (InCache{}).AppliesTo(PrivateL2System(16)) {
+		t.Error("in-cache must not apply to Private-L2")
+	}
+	if !(InCache{}).AppliesTo(SharedL2System(16)) {
+		t.Error("in-cache must apply to Shared-L2")
+	}
+}
+
+// growth returns estimate(1024 cores) / estimate(16 cores).
+func growth(o Organization, shared bool, energy bool) float64 {
+	mk := PrivateL2System
+	if shared {
+		mk = SharedL2System
+	}
+	lo, hi := estimate(o, mk(16)), estimate(o, mk(1024))
+	if energy {
+		return hi.EnergyPerOp / lo.EnergyPerOp
+	}
+	return hi.AreaPerCore / lo.AreaPerCore
+}
+
+// TestEnergyScalingShapes asserts Figure 4/13's qualitative slopes.
+func TestEnergyScalingShapes(t *testing.T) {
+	for _, shared := range []bool{true, false} {
+		// Duplicate-Tag and Tagless per-op energy grows ~linearly with
+		// cores (64x over the sweep; the additive decoder/update constant
+		// dampens the ratio at the 16-core end, hence the 15x floor).
+		for _, o := range []Organization{DuplicateTag{}, Tagless{}} {
+			g := growth(o, shared, true)
+			if g < 15 {
+				t.Errorf("%s (shared=%v): energy growth %.1fx, want ~linear (>=15x)", o.Name(), shared, g)
+			}
+		}
+		// Sparse full vector grows strongly too (entry width ~ caches).
+		if g := growth(Sparse{Assoc: 8, Factor: 8, Vector: FullVector}, shared, true); g < 8 {
+			t.Errorf("Sparse full (shared=%v): energy growth %.1fx, want > 8x", shared, g)
+		}
+		// Coarse/Hierarchical Sparse and the Cuckoo variants stay nearly
+		// flat (logarithmic).
+		ways, factor := 4, 1.0
+		if !shared {
+			ways, factor = 3, 1.5
+		}
+		flat := []Organization{
+			Sparse{Assoc: 8, Factor: 8, Vector: CoarseVector},
+			Sparse{Assoc: 8, Factor: 8, Vector: HierVector},
+			Cuckoo{Ways: ways, Factor: factor, Vector: CoarseVector},
+			Cuckoo{Ways: ways, Factor: factor, Vector: HierVector},
+		}
+		for _, o := range flat {
+			g := growth(o, shared, true)
+			if g > 3 {
+				t.Errorf("%s (shared=%v): energy growth %.1fx, want ~flat (<3x)", o.Name(), shared, g)
+			}
+			if g < 1 {
+				t.Errorf("%s (shared=%v): energy shrank with cores (%.2fx)", o.Name(), shared, g)
+			}
+		}
+	}
+}
+
+func TestAreaScalingShapes(t *testing.T) {
+	for _, shared := range []bool{true, false} {
+		// Full-vector Sparse area per core grows ~linearly.
+		if g := growth(Sparse{Assoc: 8, Factor: 8, Vector: FullVector}, shared, false); g < 20 {
+			t.Errorf("Sparse full (shared=%v): area growth %.1fx, want >= 20x", shared, g)
+		}
+		// Duplicate-Tag and Tagless area per core is constant.
+		for _, o := range []Organization{DuplicateTag{}, Tagless{}} {
+			if g := growth(o, shared, false); math.Abs(g-1) > 0.15 {
+				t.Errorf("%s (shared=%v): area growth %.2fx, want ~1x", o.Name(), shared, g)
+			}
+		}
+		// Coarse Sparse/Cuckoo area grows only logarithmically.
+		ways, factor := 4, 1.0
+		if !shared {
+			ways, factor = 3, 1.5
+		}
+		for _, o := range []Organization{
+			Sparse{Assoc: 8, Factor: 8, Vector: CoarseVector},
+			Cuckoo{Ways: ways, Factor: factor, Vector: CoarseVector},
+		} {
+			if g := growth(o, shared, false); g > 2 {
+				t.Errorf("%s (shared=%v): area growth %.1fx, want < 2x", o.Name(), shared, g)
+			}
+		}
+	}
+	// In-cache area grows linearly with cores (vector width).
+	if g := growth(InCache{}, true, false); g < 20 {
+		t.Errorf("In-Cache area growth %.1fx, want >= 20x", g)
+	}
+}
+
+// TestPaperHeadlineRatios asserts the abstract's headline comparisons with
+// generous tolerances (shape, not absolute calibration).
+func TestPaperHeadlineRatios(t *testing.T) {
+	shared16 := SharedL2System(16)
+	ck := Cuckoo{Ways: 4, Factor: 1, Vector: CoarseVector}
+	dt := estimate(DuplicateTag{}, shared16)
+	ce := estimate(ck, shared16)
+	// "Even at 16 cores, the Cuckoo directory is up to 16x more
+	// energy-efficient than the traditional Duplicate-Tag directory."
+	if ratio := dt.EnergyPerOp / ce.EnergyPerOp; ratio < 2 {
+		t.Errorf("16-core DupTag/Cuckoo energy ratio = %.1f, want >> 1", ratio)
+	}
+	// "...up to 6x more area-efficient than the Sparse organization."
+	sp := estimate(Sparse{Assoc: 8, Factor: 8, Vector: CoarseVector}, shared16)
+	if ratio := sp.AreaPerCore / ce.AreaPerCore; ratio < 4 || ratio > 12 {
+		t.Errorf("16-core Sparse8x/Cuckoo area ratio = %.1f, want ~6-8", ratio)
+	}
+
+	// At 1024 cores: "up to 80x energy-efficiency over the leading
+	// area-efficient Tagless design and more than 7x area-efficiency over
+	// the leading power-efficient Sparse design".
+	shared1024 := SharedL2System(1024)
+	tg := estimate(Tagless{}, shared1024)
+	ce1024 := estimate(ck, shared1024)
+	if ratio := tg.EnergyPerOp / ce1024.EnergyPerOp; ratio < 10 {
+		t.Errorf("1024-core Tagless/Cuckoo energy ratio = %.1f, want >> 1 (paper: up to 80x)", ratio)
+	}
+	sp1024 := estimate(Sparse{Assoc: 8, Factor: 8, Vector: CoarseVector}, shared1024)
+	if ratio := sp1024.AreaPerCore / ce1024.AreaPerCore; ratio < 5 {
+		t.Errorf("1024-core Sparse/Cuckoo area ratio = %.1f, want >= 5 (paper: > 7x)", ratio)
+	}
+}
+
+func TestCuckooAreaUnderL2Fractions(t *testing.T) {
+	// §5.6: Cuckoo directory storage is "under 3% of the L2 area for the
+	// Shared-L2 configuration with 1024 cores... and under 30%... for the
+	// Private-L2 configuration".
+	ckS := estimate(Cuckoo{Ways: 4, Factor: 1, Vector: CoarseVector}, SharedL2System(1024))
+	if ckS.AreaPerCore > 0.05 {
+		t.Errorf("Shared-L2 1024-core Cuckoo area = %.3f of L2, want < ~0.03", ckS.AreaPerCore)
+	}
+	ckP := estimate(Cuckoo{Ways: 3, Factor: 1.5, Vector: CoarseVector}, PrivateL2System(1024))
+	if ckP.AreaPerCore > 0.4 {
+		t.Errorf("Private-L2 1024-core Cuckoo area = %.3f of L2, want < ~0.3", ckP.AreaPerCore)
+	}
+}
+
+func TestMonotonicInCores(t *testing.T) {
+	for _, org := range Figure13Lineup(true) {
+		prevE, prevA := 0.0, 0.0
+		for _, cores := range CoreCounts() {
+			sys := SharedL2System(cores)
+			if !org.AppliesTo(sys) {
+				continue
+			}
+			est := estimate(org, sys)
+			if est.EnergyPerOp+1e-12 < prevE {
+				t.Errorf("%s: energy decreased at %d cores", org.Name(), cores)
+			}
+			if est.AreaPerCore+1e-12 < prevA {
+				t.Errorf("%s: area decreased at %d cores", org.Name(), cores)
+			}
+			prevE, prevA = est.EnergyPerOp, est.AreaPerCore
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Organization{
+		"Duplicate-Tag":          DuplicateTag{},
+		"Tagless":                Tagless{},
+		"Sparse 8x":              Sparse{Assoc: 8, Factor: 8, Vector: FullVector},
+		"Sparse 8x Coarse":       Sparse{Assoc: 8, Factor: 8, Vector: CoarseVector},
+		"Sparse 8x Hierarchical": Sparse{Assoc: 8, Factor: 8, Vector: HierVector},
+		"Sparse 1.5x":            Sparse{Assoc: 8, Factor: 1.5, Vector: FullVector},
+		"In-Cache":               InCache{},
+		"Cuckoo Coarse":          Cuckoo{Ways: 4, Factor: 1, Vector: CoarseVector},
+		"Cuckoo Hierarchical":    Cuckoo{Ways: 4, Factor: 1, Vector: HierVector},
+	}
+	for want, org := range cases {
+		if got := org.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestVectorWidths(t *testing.T) {
+	if FullVectorBits(2048) != 2048 {
+		t.Error("full vector width wrong")
+	}
+	if CoarseBits(2048) != 22 { // 2*log2(2048)
+		t.Errorf("CoarseBits(2048) = %f, want 22", CoarseBits(2048))
+	}
+	if HierRootBits(1024) != 32 || HierSubBits(1024) != 32 {
+		t.Error("hier widths wrong at 1024 caches")
+	}
+	if CoarseBits(1) != 2 {
+		t.Errorf("CoarseBits floor = %f", CoarseBits(1))
+	}
+}
+
+func TestLineups(t *testing.T) {
+	if len(Figure4Lineup()) != 6 {
+		t.Errorf("Figure 4 lineup = %d organizations", len(Figure4Lineup()))
+	}
+	if len(Figure13Lineup(true)) != 8 {
+		t.Errorf("Figure 13 lineup = %d organizations", len(Figure13Lineup(true)))
+	}
+	if len(CoreCounts()) != 7 || CoreCounts()[0] != 16 || CoreCounts()[6] != 1024 {
+		t.Errorf("CoreCounts = %v", CoreCounts())
+	}
+}
+
+func TestFtoa(t *testing.T) {
+	cases := map[float64]string{2: "2", 8: "8", 1.5: "1.5", 0.5: "0.5"}
+	for f, want := range cases {
+		if got := ftoa(f); got != want {
+			t.Errorf("ftoa(%v) = %q, want %q", f, got, want)
+		}
+	}
+}

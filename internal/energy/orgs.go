@@ -1,0 +1,350 @@
+package energy
+
+// This file projects each directory organization of Figures 4 and 13.
+// Throughout, slices == cores and a slice's 1x entry budget is
+// caches*framesPerCache/cores, so per-core area equals per-slice area.
+
+// DuplicateTag projects the Duplicate-Tag organization (§3.1): per slice,
+// a mirror of every tracked cache's tags; lookup compares
+// caches x cacheAssoc tags in parallel, which is what makes its energy
+// grow linearly per slice (quadratically in aggregate).
+type DuplicateTag struct{}
+
+// Name implements Organization.
+func (DuplicateTag) Name() string { return "Duplicate-Tag" }
+
+// AppliesTo implements Organization.
+func (DuplicateTag) AppliesTo(System) bool { return true }
+
+// Estimate implements Organization.
+func (DuplicateTag) Estimate(sys System, p Params, mix Mix) Estimate {
+	checkSystem(sys)
+	entries := sys.OneXSliceEntries()
+	// The mirror is indexed by cache set; tags shrink accordingly.
+	tag := tagBits(p, sys.CacheSets) + float64(p.StateBits)
+	width := float64(sys.Caches()*sys.CacheAssoc) * tag
+	lookup := access(p, entries, width)
+	write := access(p, entries, tag)
+	e := opEnergy{
+		insert:       lookup + write,
+		addSharer:    lookup + write,
+		removeSharer: lookup + write,
+		removeTag:    lookup + write,
+		invalidate:   lookup, // match vector comes from the compare itself
+	}
+	return Estimate{
+		EnergyPerOp: e.weighted(mix) / l2TagLookupEnergy(sys, p),
+		AreaPerCore: float64(entries) * tag * p.ABit / l2DataArrayArea(sys, p),
+	}
+}
+
+// Tagless projects the Tagless directory (Zebchuk et al. [43], §3.3): a
+// grid of Bloom filters, one row per cache set, one column per cache. Its
+// area is tiny (no tags) but each lookup touches K probe bits in every
+// cache's column, so read width still grows linearly with core count —
+// "the slope of the energy dissipation line for the Tagless directory is
+// nearly identical to the Duplicate-Tag organization" at a lower constant.
+type Tagless struct {
+	// BucketBits is each filter bucket's width; K the probe bits per
+	// lookup. Zero values default to 64 and 2.
+	BucketBits int
+	K          int
+	// ProbeBits is the physical read granularity per cache column: SRAM
+	// column muxing reads at least a sub-bucket (byte) per cache even
+	// when only K bits are inspected. Defaults to 8.
+	ProbeBits int
+}
+
+// Name implements Organization.
+func (Tagless) Name() string { return "Tagless" }
+
+// AppliesTo implements Organization.
+func (Tagless) AppliesTo(System) bool { return true }
+
+// Estimate implements Organization.
+func (t Tagless) Estimate(sys System, p Params, mix Mix) Estimate {
+	checkSystem(sys)
+	bucketBits := t.BucketBits
+	if bucketBits == 0 {
+		bucketBits = 64
+	}
+	k := t.K
+	if k == 0 {
+		k = 2
+	}
+	probe := t.ProbeBits
+	if probe == 0 {
+		probe = 8
+	}
+	if probe < k {
+		probe = k
+	}
+	rowsPerSlice := sys.Caches() * sys.CacheSets / sys.Cores
+	gridBits := float64(rowsPerSlice * bucketBits)
+	lookup := access(p, rowsPerSlice, float64(sys.Caches()*probe))
+	update := access(p, rowsPerSlice, float64(2*probe)) // sub-bucket RMW
+	e := opEnergy{
+		insert:       lookup + update,
+		addSharer:    lookup + update,
+		removeSharer: lookup + update,
+		removeTag:    lookup + update,
+		invalidate:   lookup,
+	}
+	return Estimate{
+		EnergyPerOp: e.weighted(mix) / l2TagLookupEnergy(sys, p),
+		AreaPerCore: gridBits * p.ABit / l2DataArrayArea(sys, p),
+	}
+}
+
+// VectorKind selects a sharer-set representation for Sparse/Cuckoo/
+// In-Cache entries.
+type VectorKind int
+
+// Representations (see internal/sharer for the functional versions).
+const (
+	// FullVector is one bit per cache.
+	FullVector VectorKind = iota
+	// CoarseVector is 2*log2(caches) bits (pointers, then coarse).
+	CoarseVector
+	// HierVector is a sqrt(caches)-bit root plus allocated second-level
+	// entries (each with a replicated tag).
+	HierVector
+)
+
+// String names the representation as in the figure legends.
+func (v VectorKind) String() string {
+	switch v {
+	case FullVector:
+		return "full"
+	case CoarseVector:
+		return "Coarse"
+	case HierVector:
+		return "Hierarchical"
+	default:
+		return "?"
+	}
+}
+
+// vectorBits returns (root entry sharer bits, extra per-block storage in
+// second-level structures).
+func vectorBits(v VectorKind, caches int, tag float64, p Params) (root, extra float64) {
+	switch v {
+	case FullVector:
+		return FullVectorBits(caches), 0
+	case CoarseVector:
+		return CoarseBits(caches), 0
+	case HierVector:
+		// Second-level entries replicate the tag (§3.3: "at the cost of
+		// additional storage to replicate the tags multiple times, once
+		// for each allocated second-level entry").
+		sub := HierSubBits(caches) + tag + float64(p.StateBits)
+		return HierRootBits(caches), p.HierAvgSubs * sub
+	default:
+		panic("energy: unknown vector kind")
+	}
+}
+
+// Sparse projects the Sparse directory organization at a provisioning
+// factor (the paper's scaling figures use 8x to keep conflict rates
+// acceptable; "over-provisioning results in a significant area increase,
+// rendering these designs unattractive").
+type Sparse struct {
+	Assoc  int
+	Factor float64
+	Vector VectorKind
+}
+
+// Name implements Organization.
+func (s Sparse) Name() string {
+	n := "Sparse " + ftoa(s.Factor) + "x"
+	if s.Vector != FullVector {
+		n += " " + s.Vector.String()
+	}
+	return n
+}
+
+// AppliesTo implements Organization.
+func (Sparse) AppliesTo(System) bool { return true }
+
+// Estimate implements Organization.
+func (s Sparse) Estimate(sys System, p Params, mix Mix) Estimate {
+	checkSystem(sys)
+	entries := int(s.Factor * float64(sys.OneXSliceEntries()))
+	sets := entries / s.Assoc
+	tag := tagBits(p, sets)
+	root, extra := vectorBits(s.Vector, sys.Caches(), tag, p)
+	entryBits := tag + float64(p.StateBits) + root
+
+	// A set-associative directory reads the full entry row (tag, state
+	// and sharer vector) of every way in the indexed set — storing the
+	// vector beside the tag is what makes full-vector Sparse lookups
+	// linear in core count.
+	lookup := access(p, entries, float64(s.Assoc)*entryBits)
+	entryRMW := access(p, entries, 2*entryBits)
+	vecRead := access(p, entries, root+extra)
+	e := opEnergy{
+		insert:       lookup + entryRMW,
+		addSharer:    lookup + entryRMW,
+		removeSharer: lookup + entryRMW,
+		removeTag:    lookup + access(p, entries, entryBits),
+		invalidate:   lookup + vecRead,
+	}
+	if s.Vector == HierVector {
+		// Second serialized lookup in the per-cluster structure.
+		e.insert += lookup
+		e.invalidate += lookup
+	}
+	area := float64(entries) * (entryBits + extra) * p.ABit
+	return Estimate{
+		EnergyPerOp: e.weighted(mix) / l2TagLookupEnergy(sys, p),
+		AreaPerCore: area / l2DataArrayArea(sys, p),
+	}
+}
+
+// InCache projects the inclusive in-cache directory (§3.2/§5.6): sharer
+// vectors embedded in the shared L2 tags. Tag storage and tag lookup come
+// free with the L2; the directory pays only for vector storage across ALL
+// L2 frames ("grossly over-provisioning the sharer storage because the
+// number of tags in the lower-level cache greatly exceeds the number of
+// tracked blocks") and vector read/write energy.
+type InCache struct{}
+
+// Name implements Organization.
+func (InCache) Name() string { return "In-Cache" }
+
+// AppliesTo implements Organization: requires a shared L2 ("inclusion of
+// private L2s in other private L2s is not possible").
+func (InCache) AppliesTo(sys System) bool { return sys.CachesPerCore == 2 }
+
+// Estimate implements Organization.
+func (InCache) Estimate(sys System, p Params, mix Mix) Estimate {
+	checkSystem(sys)
+	vec := FullVectorBits(sys.Caches())
+	frames := sys.L2FramesPerTile
+	vecRMW := access(p, frames, 2*vec)
+	vecRead := access(p, frames, vec)
+	e := opEnergy{
+		insert:       vecRMW,
+		addSharer:    vecRMW,
+		removeSharer: vecRMW,
+		removeTag:    vecRead,
+		invalidate:   vecRead,
+	}
+	return Estimate{
+		EnergyPerOp: e.weighted(mix) / l2TagLookupEnergy(sys, p),
+		AreaPerCore: float64(frames) * vec * p.ABit / l2DataArrayArea(sys, p),
+	}
+}
+
+// Cuckoo projects the Cuckoo directory: Ways direct-mapped ways at a small
+// provisioning factor, with Coarse or Hierarchical entries (§5.6: "we
+// constructed the Cuckoo directory with the coarse and hierarchical
+// approaches"). Lookup width and capacity are independent of core count —
+// the property that keeps its per-core energy and area flat.
+type Cuckoo struct {
+	Ways   int
+	Factor float64
+	Vector VectorKind
+}
+
+// Name implements Organization.
+func (c Cuckoo) Name() string { return "Cuckoo " + c.Vector.String() }
+
+// AppliesTo implements Organization.
+func (Cuckoo) AppliesTo(System) bool { return true }
+
+// Estimate implements Organization.
+func (c Cuckoo) Estimate(sys System, p Params, mix Mix) Estimate {
+	checkSystem(sys)
+	entries := int(c.Factor * float64(sys.OneXSliceEntries()))
+	sets := entries / c.Ways
+	tag := tagBits(p, sets)
+	root, extra := vectorBits(c.Vector, sys.Caches(), tag, p)
+	entryBits := tag + float64(p.StateBits) + root
+
+	// As for Sparse, the lookup reads the full entry row of each way —
+	// but the way count is a constant 3-4 and the compressed vectors grow
+	// logarithmically, so the width is nearly core-count-independent.
+	lookup := access(p, entries, float64(c.Ways)*entryBits)
+	entryWrite := access(p, entries, entryBits)
+	entryRMW := access(p, entries, 2*entryBits)
+	vecRead := access(p, entries, root+extra)
+	e := opEnergy{
+		// Inserts pay the displacement chain: attempts entry writes.
+		insert:       lookup + p.CuckooInsertAttempts*entryWrite,
+		addSharer:    lookup + entryRMW,
+		removeSharer: lookup + entryRMW,
+		removeTag:    lookup + entryWrite,
+		invalidate:   lookup + vecRead,
+	}
+	if c.Vector == HierVector {
+		e.insert += lookup
+		e.invalidate += lookup
+	}
+	area := float64(entries) * (entryBits + extra) * p.ABit
+	return Estimate{
+		EnergyPerOp: e.weighted(mix) / l2TagLookupEnergy(sys, p),
+		AreaPerCore: area / l2DataArrayArea(sys, p),
+	}
+}
+
+// ftoa formats provisioning factors compactly ("2", "1.5", "8").
+func ftoa(f float64) string {
+	if f == float64(int(f)) {
+		return itoa(int(f))
+	}
+	// One decimal is enough for the factors the paper uses.
+	whole := int(f)
+	frac := int((f - float64(whole)) * 10)
+	return itoa(whole) + "." + itoa(frac)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Figure4Lineup returns the organizations of Figure 4 (prior designs).
+func Figure4Lineup() []Organization {
+	return []Organization{
+		DuplicateTag{},
+		Tagless{},
+		Sparse{Assoc: 8, Factor: 8, Vector: FullVector},
+		InCache{},
+		Sparse{Assoc: 8, Factor: 8, Vector: HierVector},
+		Sparse{Assoc: 8, Factor: 8, Vector: CoarseVector},
+	}
+}
+
+// Figure13Lineup returns Figure 13's lineup: the prior designs plus the
+// Cuckoo variants at the provisioning §5.2 selects for the configuration.
+func Figure13Lineup(sharedL2 bool) []Organization {
+	ways, factor := 4, 1.0 // Shared-L2: 4x512 = 1x
+	if !sharedL2 {
+		ways, factor = 3, 1.5 // Private-L2: 3x8192 = 1.5x
+	}
+	return append(Figure4Lineup(),
+		Cuckoo{Ways: ways, Factor: factor, Vector: HierVector},
+		Cuckoo{Ways: ways, Factor: factor, Vector: CoarseVector},
+	)
+}
+
+// CoreCounts returns the paper's projection sweep: 16 to 1024 cores.
+func CoreCounts() []int { return []int{16, 32, 64, 128, 256, 512, 1024} }

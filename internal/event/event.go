@@ -1,0 +1,98 @@
+// Package event is a minimal deterministic discrete-event simulation
+// kernel: a time-ordered calendar of callbacks with FIFO tie-breaking.
+// The coherence protocol and NoC models run on it.
+package event
+
+import "container/heap"
+
+// Time is simulation time in cycles.
+type Time uint64
+
+// item is one scheduled callback.
+type item struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type calendar []item
+
+func (c calendar) Len() int { return len(c) }
+func (c calendar) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	return c[i].seq < c[j].seq
+}
+func (c calendar) Swap(i, j int)       { c[i], c[j] = c[j], c[i] }
+func (c *calendar) Push(x interface{}) { *c = append(*c, x.(item)) }
+func (c *calendar) Pop() interface{} {
+	old := *c
+	n := len(old)
+	it := old[n-1]
+	*c = old[:n-1]
+	return it
+}
+
+// Queue is the event calendar. The zero value is ready to use.
+type Queue struct {
+	cal calendar
+	now Time
+	seq uint64
+	ran uint64
+}
+
+// Now returns the current simulation time.
+func (q *Queue) Now() Time { return q.now }
+
+// Processed returns the number of events executed so far.
+func (q *Queue) Processed() uint64 { return q.ran }
+
+// Pending returns the number of scheduled events not yet run.
+func (q *Queue) Pending() int { return len(q.cal) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics —
+// it always indicates a model bug.
+func (q *Queue) At(t Time, fn func()) {
+	if t < q.now {
+		panic("event: scheduling in the past")
+	}
+	q.seq++
+	heap.Push(&q.cal, item{at: t, seq: q.seq, fn: fn})
+}
+
+// After schedules fn d cycles from now.
+func (q *Queue) After(d Time, fn func()) { q.At(q.now+d, fn) }
+
+// Step runs the next event; it returns false when the calendar is empty.
+func (q *Queue) Step() bool {
+	if len(q.cal) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.cal).(item)
+	q.now = it.at
+	q.ran++
+	it.fn()
+	return true
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to t.
+func (q *Queue) RunUntil(t Time) {
+	for len(q.cal) > 0 && q.cal[0].at <= t {
+		q.Step()
+	}
+	if t > q.now {
+		q.now = t
+	}
+}
+
+// Drain runs events until the calendar is empty or limit events have run
+// (0 = no limit). It returns the number of events executed.
+func (q *Queue) Drain(limit uint64) uint64 {
+	var n uint64
+	for (limit == 0 || n < limit) && q.Step() {
+		n++
+	}
+	return n
+}

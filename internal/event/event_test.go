@@ -1,0 +1,109 @@
+package event
+
+import "testing"
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var order []int
+	q.At(10, func() { order = append(order, 2) })
+	q.At(5, func() { order = append(order, 1) })
+	q.At(10, func() { order = append(order, 3) }) // same time: FIFO by seq
+	q.At(20, func() { order = append(order, 4) })
+	for q.Step() {
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if q.Now() != 20 {
+		t.Fatalf("Now = %d", q.Now())
+	}
+	if q.Processed() != 4 {
+		t.Fatalf("Processed = %d", q.Processed())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var q Queue
+	q.At(100, func() {
+		q.After(5, func() {
+			if q.Now() != 105 {
+				t.Errorf("After fired at %d", q.Now())
+			}
+		})
+	})
+	for q.Step() {
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var q Queue
+	q.At(10, func() {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	fired := 0
+	q.At(5, func() { fired++ })
+	q.At(15, func() { fired++ })
+	q.RunUntil(10)
+	if fired != 1 {
+		t.Fatalf("fired = %d at t=10", fired)
+	}
+	if q.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", q.Now())
+	}
+	if q.Pending() != 1 {
+		t.Fatalf("Pending = %d", q.Pending())
+	}
+	q.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d at t=20", fired)
+	}
+}
+
+func TestDrainLimit(t *testing.T) {
+	var q Queue
+	// Self-perpetuating event stream.
+	var reschedule func()
+	n := 0
+	reschedule = func() {
+		n++
+		q.After(1, reschedule)
+	}
+	q.At(0, reschedule)
+	ran := q.Drain(100)
+	if ran != 100 || n != 100 {
+		t.Fatalf("Drain ran %d events (%d calls)", ran, n)
+	}
+}
+
+func TestCascade(t *testing.T) {
+	// Events scheduled by events at the same timestamp still run.
+	var q Queue
+	hits := 0
+	q.At(1, func() {
+		q.At(1, func() { hits++ })
+	})
+	for q.Step() {
+	}
+	if hits != 1 {
+		t.Fatal("same-time cascade lost")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.After(Time(i%64), func() {})
+		q.Step()
+	}
+}

@@ -1,0 +1,410 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cuckoodir/internal/stats"
+)
+
+// tableType aliases the stats table type for test readability.
+type tableType = stats.Table
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	want := []string{
+		"table1", "table2", "fig4", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "mix", "hashes", "ablation", "formats",
+		"analytic", "latency",
+	}
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Expect == "" || e.Run == nil {
+			t.Errorf("%s: incomplete experiment definition", e.ID)
+		}
+	}
+	if _, err := ByID("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID of unknown id succeeded")
+	}
+	if len(IDs()) != len(want) {
+		t.Error("IDs() incomplete")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	ts := runExp(t, "table1")
+	body := ts[0].String()
+	for _, want := range []string{"16 cores", "512 sets x 2 ways", "1024 sets x 16 ways", "2048", "16384"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("table1 missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	ts := runExp(t, "table2")
+	body := ts[0].String()
+	for _, wl := range []string{"db2", "oracle", "qry2", "qry16", "qry17", "apache", "zeus", "em3d", "ocean"} {
+		if !strings.Contains(body, wl) {
+			t.Errorf("table2 missing workload %q", wl)
+		}
+	}
+}
+
+func runExp(t *testing.T, id string) []*tableType {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := e.Run(Options{Scale: Quick})
+	if len(ts) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	for _, tb := range ts {
+		if tb.NumRows() == 0 {
+			t.Fatalf("%s produced an empty table %q", id, tb.Title)
+		}
+	}
+	return ts
+}
+
+func TestFig4Shapes(t *testing.T) {
+	ts := runExp(t, "fig4")
+	if len(ts) != 2 {
+		t.Fatalf("fig4 tables = %d", len(ts))
+	}
+	// Energy table: Duplicate-Tag column must grow by >10x from first to
+	// last row.
+	energyTbl := ts[1]
+	first := parsePct(t, energyTbl.Cell(0, 1))
+	last := parsePct(t, energyTbl.Cell(energyTbl.NumRows()-1, 1))
+	if last < first*10 {
+		t.Errorf("fig4: Duplicate-Tag energy grew only %.1fx", last/first)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	ts := runExp(t, "fig7")
+	att, fail := ts[0], ts[1]
+	// At the 0.50 occupancy row (index 9), 3/4/8-ary attempts <= 2 and
+	// failure probability zero.
+	for col := 2; col <= 4; col++ {
+		a := parseFloat(t, att.Cell(9, col))
+		if a > 2.0 {
+			t.Errorf("fig7: %s attempts at 50%% = %.2f, want <= 2", att.Headers()[col], a)
+		}
+		f := fail.Cell(9, col)
+		if f != "0" {
+			t.Errorf("fig7: %s failure at 50%% = %s, want 0", fail.Headers()[col], f)
+		}
+	}
+}
+
+func TestFig13IncludesCuckoo(t *testing.T) {
+	ts := runExp(t, "fig13")
+	if len(ts) != 4 {
+		t.Fatalf("fig13 tables = %d", len(ts))
+	}
+	hdr := strings.Join(ts[0].Headers(), " ")
+	if !strings.Contains(hdr, "Cuckoo Coarse") || !strings.Contains(hdr, "Cuckoo Hierarchical") {
+		t.Errorf("fig13 headers missing Cuckoo variants: %s", hdr)
+	}
+	// Private-L2 tables must mark In-Cache n/a.
+	if !strings.Contains(ts[2].String(), "n/a") {
+		t.Error("fig13 Private-L2 should mark In-Cache n/a")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	ts := runExp(t, "ablation")
+	if len(ts) != 2 {
+		t.Fatalf("ablation tables = %d", len(ts))
+	}
+	if ts[0].NumRows() != 5 {
+		t.Fatalf("ablation rows = %d", ts[0].NumRows())
+	}
+	// Displacement-budget ordering: skewed >= elbow >= cuckoo per row.
+	el := ts[1]
+	for r := 0; r < el.NumRows(); r++ {
+		sk := parseFloat(t, el.Cell(r, 1))
+		eb := parseFloat(t, el.Cell(r, 2))
+		ck := parseFloat(t, el.Cell(r, 3))
+		if !(sk >= eb && eb >= ck) {
+			t.Errorf("row %d: ordering violated: skewed=%v elbow=%v cuckoo=%v", r, sk, eb, ck)
+		}
+	}
+}
+
+func TestAnalytic(t *testing.T) {
+	ts := runExp(t, "analytic")
+	if len(ts) != 2 {
+		t.Fatalf("analytic tables = %d", len(ts))
+	}
+	sparse, ck := ts[0], ts[1]
+	// Model and measurement agree within a few percentage points at every
+	// sparse occupancy row.
+	for r := 0; r < sparse.NumRows(); r++ {
+		m := parsePct(t, normPct(sparse.Cell(r, 1)))
+		meas := parsePct(t, normPct(sparse.Cell(r, 2)))
+		if diff := m - meas; diff < -5 || diff > 5 {
+			t.Errorf("sparse row %d: model %.2f%% vs measured %.2f%%", r, m, meas)
+		}
+	}
+	if ck.NumRows() != 4 {
+		t.Fatalf("cuckoo rows = %d", ck.NumRows())
+	}
+}
+
+func TestLatencyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ts := runExp(t, "latency")
+	// Wait fraction column must be tiny for the cuckoo row.
+	body := ts[0].String()
+	if !strings.Contains(body, "cuckoo") {
+		t.Fatalf("latency table missing cuckoo row:\n%s", body)
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ts := runExp(t, "fig8")
+	tb := ts[0]
+	// Every row: private occupancy >= shared occupancy (sharing shrinks
+	// the shared-config block count relative to capacity).
+	for r := 0; r < tb.NumRows(); r++ {
+		sh := parsePct(t, tb.Cell(r, 2))
+		pr := parsePct(t, tb.Cell(r, 3))
+		if sh <= 0 || pr <= 0 {
+			t.Fatalf("fig8 row %d: empty cells", r)
+		}
+		if tb.Cell(r, 0) == "ocean" && pr < 85 {
+			t.Errorf("fig8: ocean Private-L2 occupancy %.1f%%, want near 100%%", pr)
+		}
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ts := runExp(t, "fig9")
+	if len(ts) != 2 {
+		t.Fatalf("fig9 tables = %d", len(ts))
+	}
+	for i, tb := range ts {
+		// Rows are ordered over- to under-provisioned; the last row must
+		// show (weakly) more insertion attempts than the first, and the
+		// under-provisioned row must force invalidations.
+		first := parseFloat(t, tb.Cell(0, 2))
+		last := parseFloat(t, tb.Cell(tb.NumRows()-1, 2))
+		if last < first {
+			t.Errorf("table %d: attempts fell from %.2f to %.2f as provisioning shrank", i, first, last)
+		}
+		if tb.Cell(tb.NumRows()-1, 3) == "0" {
+			t.Errorf("table %d: under-provisioned row shows zero invalidations", i)
+		}
+		if tb.Cell(0, 3) != "0" {
+			// Over-provisioned (1.5x/2x) should be clean or nearly so.
+			if v := parsePct(t, tb.Cell(0, 3)); v > 0.1 {
+				t.Errorf("table %d: over-provisioned invalidation rate %.3f%%", i, v)
+			}
+		}
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ts := runExp(t, "fig10")
+	tb := ts[0]
+	for r := 0; r < tb.NumRows(); r++ {
+		for _, col := range []int{2, 3} {
+			v := parseFloat(t, tb.Cell(r, col))
+			if v < 1 || v > 3.0 {
+				t.Errorf("%s %s: avg attempts %.2f outside [1,3] (paper: typically < 2)",
+					tb.Cell(r, 0), tb.Headers()[col], v)
+			}
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ts := runExp(t, "fig11")
+	tb := ts[0]
+	if tb.NumRows() != 32 {
+		t.Fatalf("rows = %d, want 32", tb.NumRows())
+	}
+	// Fraction at 1 attempt dominates; the cap bucket is "nearly zero"
+	// with no peak (paper: "lack of a peak at 32 indicates that longer
+	// insertions and loops are practically non-existent").
+	for _, col := range []int{1, 2} {
+		first := parsePct(t, normPct(tb.Cell(0, col)))
+		if first < 50 {
+			t.Errorf("col %d: only %.1f%% of inserts at 1 attempt", col, first)
+		}
+		cap32 := parsePct(t, normPct(tb.Cell(31, col)))
+		if cap32 > 0.05 {
+			t.Errorf("col %d: %.4f%% of inserts at the 32-attempt cap, want nearly zero", col, cap32)
+		}
+		second := parsePct(t, normPct(tb.Cell(1, col)))
+		if cap32 > second && cap32 > 0 {
+			t.Errorf("col %d: peak at the cap (%.4f%% > %.4f%% at 2 attempts)", col, cap32, second)
+		}
+	}
+}
+
+func normPct(s string) string {
+	if s == "0" {
+		return "0%"
+	}
+	return s
+}
+
+func TestFig12Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ts := runExp(t, "fig12")
+	if len(ts) != 2 {
+		t.Fatalf("fig12 tables = %d", len(ts))
+	}
+	for _, tb := range ts {
+		// Suite-average ordering: Sparse 2x > Cuckoo, and Cuckoo ~ 0.
+		var sp2, ck float64
+		for r := 0; r < tb.NumRows(); r++ {
+			sp2 += parsePct(t, normPct(tb.Cell(r, 1)))
+			ck += parsePct(t, normPct(tb.Cell(r, 4)))
+		}
+		if sp2 <= ck {
+			t.Errorf("%s: Sparse 2x total %.3f%% not above Cuckoo %.3f%%", tb.Title, sp2, ck)
+		}
+		if ck > 0.5 {
+			t.Errorf("%s: Cuckoo suite invalidations %.3f%% — should be near zero", tb.Title, ck)
+		}
+	}
+}
+
+func TestMixQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ts := runExp(t, "mix")
+	tb := ts[0]
+	if tb.NumRows() != 5 {
+		t.Fatalf("mix rows = %d", tb.NumRows())
+	}
+	// Insert and remove-tag fractions must roughly balance (every tracked
+	// block enters once and leaves once) in both configurations.
+	for _, col := range []int{1, 2} {
+		ins := parsePct(t, tb.Cell(0, col))
+		rmt := parsePct(t, tb.Cell(3, col))
+		if ins < 5 || rmt < 5 {
+			t.Errorf("col %d: degenerate mix ins=%.1f rmt=%.1f", col, ins, rmt)
+		}
+		if diff := ins - rmt; diff < -12 || diff > 12 {
+			t.Errorf("col %d: insert %.1f%% vs remove-tag %.1f%% unbalanced", col, ins, rmt)
+		}
+	}
+}
+
+func TestHashesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ts := runExp(t, "hashes")
+	tb := ts[0]
+	if tb.NumRows()%2 != 0 {
+		t.Fatalf("hashes rows = %d, want skew/strong pairs", tb.NumRows())
+	}
+	sawAdverse := false
+	for r := 0; r < tb.NumRows(); r += 2 {
+		skew := parseFloat(t, tb.Cell(r, 6))
+		strong := parseFloat(t, tb.Cell(r+1, 6))
+		// Strong hashing must never be meaningfully worse than skewing.
+		if strong > skew*1.25+0.1 {
+			t.Errorf("row %d: strong attempts %.2f much worse than skew %.2f", r, strong, skew)
+		}
+		// On contiguous (unscattered) addresses the linear skew family
+		// degrades — more attempts or nonzero forced invalidations —
+		// while strong hashing stays clean: the §5.5 "strong hashes help
+		// most under adverse conditions" signal.
+		if tb.Cell(r, 4) == "contiguous" {
+			sawAdverse = true
+			skewInval := tb.Cell(r, 7)
+			strongInval := tb.Cell(r+1, 7)
+			attemptsWorse := skew >= strong*1.3
+			invalWorse := skewInval != "0" && strongInval == "0"
+			if !attemptsWorse && !invalWorse {
+				t.Errorf("row %d (contiguous): skew (%.2f att, %s inval) not clearly worse than strong (%.2f att, %s inval)",
+					r, skew, skewInval, strong, strongInval)
+			}
+		}
+	}
+	if !sawAdverse {
+		t.Error("hashes experiment lost its contiguous-address rows")
+	}
+}
+
+func TestFormatsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ts := runExp(t, "formats")
+	tb := ts[0]
+	if tb.NumRows() != 4 {
+		t.Fatalf("formats rows = %d", tb.NumRows())
+	}
+	// Full and hierarchical are exact: zero spurious invalidations.
+	for _, r := range []int{0, 3} {
+		if tb.Cell(r, 2) != "0" {
+			t.Errorf("%s: spurious invalidations = %s, want 0", tb.Cell(r, 0), tb.Cell(r, 2))
+		}
+	}
+	// Coarse must show the over-approximation cost.
+	if tb.Cell(1, 2) == "0" {
+		t.Error("coarse format showed no spurious invalidations on a sharing workload")
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad percent cell %q: %v", s, err)
+	}
+	return v
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float cell %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,12 @@
+package exp
+
+import "cuckoodir/internal/core"
+
+// cuckooDirCfg builds a core directory config for protocol-level
+// experiments.
+func cuckooDirCfg(ways, sets, numCaches int) core.DirConfig {
+	return core.DirConfig{
+		Table:     core.Config{Ways: ways, SetsPerWay: sets},
+		NumCaches: numCaches,
+	}
+}

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap runs fn(0..n-1) across up to GOMAXPROCS goroutines and
+// returns the results in index order. Every simulation run is an
+// independent deterministic System, so parallel execution produces
+// bit-identical tables to sequential execution — only wall time changes.
+func parallelMap[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,150 @@
+// Package model provides closed-form analytic models of directory
+// conflict behaviour, complementing the simulators the way the paper's
+// "analytical projections" complement its FLEXUS measurements:
+//
+//   - SparseOverflow: the balls-in-bins (Poisson-tail) model of set
+//     overflow in a Sparse directory under random block placement. It
+//     predicts the static fraction of tracked blocks that do not fit
+//     their set — the onset of forced invalidations (§3.2's set-conflict
+//     problem) — as a function of occupancy and associativity.
+//   - CuckooReliableOccupancy: the occupancy below which a d-ary Cuckoo
+//     directory absorbs all insertions, from the load-threshold theory of
+//     cuckoo hashing discounted for the paper's 32-attempt insertion cap.
+//
+// The "analytic" experiment cross-validates both against Monte Carlo
+// measurements from internal/core and internal/directory.
+package model
+
+import "math"
+
+// poissonPMF returns the Poisson probability mass at k for mean lambda.
+func poissonPMF(lambda float64, k int) float64 {
+	if lambda <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	// exp(-λ) λ^k / k! computed in log space for stability.
+	logp := -lambda + float64(k)*math.Log(lambda) - lgamma(float64(k)+1)
+	return math.Exp(logp)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// SparseOverflow returns the expected fraction of blocks that overflow
+// their set when `entries` blocks are placed uniformly at random into a
+// Sparse directory of `sets` sets with `assoc` ways:
+//
+//	E[overflow] = sum_k>assoc (k-assoc) * P(X=k) * sets / entries
+//
+// with X ~ Poisson(entries/sets). This is the static lower bound on the
+// forced-invalidation rate: dynamics (thrashing re-fetches of overflowed
+// blocks) only add to it.
+func SparseOverflow(entries, sets, assoc int) float64 {
+	if entries <= 0 || sets <= 0 || assoc <= 0 {
+		panic("model: non-positive parameters")
+	}
+	lambda := float64(entries) / float64(sets)
+	var expected float64
+	// Sum far enough into the tail for the mass to vanish.
+	max := int(lambda) + assoc + 64
+	for k := assoc + 1; k <= max; k++ {
+		expected += float64(k-assoc) * poissonPMF(lambda, k)
+	}
+	return expected * float64(sets) / float64(entries)
+}
+
+// SparseSafeOccupancy returns the highest occupancy (entries/capacity) at
+// which the expected overflow fraction stays below eps, searched to 0.1%
+// resolution. It quantifies how much a Sparse directory must be
+// over-provisioned to avoid forced invalidations — the over-provisioning
+// the Cuckoo directory exists to eliminate.
+func SparseSafeOccupancy(sets, assoc int, eps float64) float64 {
+	if eps <= 0 {
+		panic("model: non-positive eps")
+	}
+	capacity := sets * assoc
+	lo := 0.0
+	for occ := 0.001; occ <= 1.0; occ += 0.001 {
+		entries := int(occ * float64(capacity))
+		if entries == 0 {
+			continue
+		}
+		if SparseOverflow(entries, sets, assoc) < eps {
+			lo = occ
+		} else {
+			break
+		}
+	}
+	return lo
+}
+
+// CuckooReliableOccupancy returns the approximate occupancy up to which a
+// d-ary Cuckoo table with the given insertion attempt budget absorbs all
+// insertions. It starts from the unbounded-walk load threshold and
+// applies the empirically calibrated cap discount (walks lengthen near
+// the threshold; a 32-attempt budget gives up 10-20% of occupancy
+// headroom for d >= 3, nothing for d = 2 whose threshold region is
+// already cliff-like). Thresholds follow core.LoadThreshold.
+func CuckooReliableOccupancy(ways, maxAttempts int) float64 {
+	th := loadThreshold(ways)
+	if th == 0 {
+		return 0
+	}
+	if ways <= 2 {
+		return th
+	}
+	// Cap discount: calibrated against the Monte Carlo (TestLoadThresholds
+	// band). With an unbounded budget there is no discount.
+	if maxAttempts <= 0 || maxAttempts >= 1<<20 {
+		return th
+	}
+	discount := 0.45 / math.Log2(float64(maxAttempts))
+	out := th - discount
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// loadThreshold mirrors core.LoadThreshold (kept local so the analytic
+// package has no simulator dependencies; equality is enforced by test).
+func loadThreshold(ways int) float64 {
+	switch ways {
+	case 2:
+		return 0.5
+	case 3:
+		return 0.9179
+	case 4:
+		return 0.9768
+	case 5:
+		return 0.9924
+	case 6:
+		return 0.9973
+	case 7:
+		return 0.9990
+	case 8:
+		return 0.9997
+	default:
+		if ways > 8 {
+			return 1.0
+		}
+		return 0
+	}
+}
+
+// RequiredProvisioning returns how many times worst-case capacity a
+// directory organization needs so that `entries` worst-case blocks stay
+// within its reliable region — the quantity behind the paper's "2x
+// over-provisioning guarantees occupancy below 50%" (Cuckoo) versus the
+// 8x the Sparse organization needs in Figures 4/13.
+func RequiredProvisioning(reliableOccupancy float64) float64 {
+	if reliableOccupancy <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / reliableOccupancy
+}

@@ -1,0 +1,187 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"cuckoodir/internal/core"
+	"cuckoodir/internal/directory"
+	"cuckoodir/internal/hashfn"
+	"cuckoodir/internal/rng"
+)
+
+func TestPoissonPMF(t *testing.T) {
+	// P(X=0) = e^-λ; total mass ~1.
+	if got := poissonPMF(2, 0); math.Abs(got-math.Exp(-2)) > 1e-12 {
+		t.Errorf("P(0) = %g", got)
+	}
+	var sum float64
+	for k := 0; k < 100; k++ {
+		sum += poissonPMF(4, k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Poisson mass sums to %g", sum)
+	}
+	if poissonPMF(0, 0) != 1 || poissonPMF(0, 3) != 0 {
+		t.Error("degenerate lambda handling wrong")
+	}
+}
+
+func TestSparseOverflowBasics(t *testing.T) {
+	// Deep under-provisioning: negligible overflow (Poisson(1) mass above
+	// 8 is ~1e-6).
+	if v := SparseOverflow(1024, 1024, 8); v > 1e-5 {
+		t.Errorf("light load overflow = %g", v)
+	}
+	// Load above capacity: overflow approaches (entries-capacity)/entries.
+	v := SparseOverflow(16384, 1024, 8) // 2x the capacity
+	if v < 0.45 || v > 0.60 {
+		t.Errorf("2x load overflow = %g, want ~0.5", v)
+	}
+	// Monotone in load.
+	prev := 0.0
+	for _, entries := range []int{1024, 2048, 4096, 8192, 16384} {
+		cur := SparseOverflow(entries, 1024, 8)
+		if cur < prev {
+			t.Errorf("overflow not monotone at %d entries", entries)
+		}
+		prev = cur
+	}
+	// More associativity at equal capacity -> less overflow.
+	if SparseOverflow(8192, 2048, 4) < SparseOverflow(8192, 1024, 8) {
+		t.Error("higher associativity should not overflow more at equal capacity")
+	}
+}
+
+// TestSparseOverflowAgainstMonteCarlo validates the Poisson model against
+// a randomized static fill of the actual Sparse directory implementation.
+func TestSparseOverflowAgainstMonteCarlo(t *testing.T) {
+	const sets, assoc = 1024, 8
+	for _, occ := range []float64{0.5, 0.75, 1.0} {
+		entries := int(occ * float64(sets*assoc))
+		d := directory.NewSparse(assoc, sets, 4)
+		r := rng.New(uint64(entries))
+		var forced uint64
+		for i := 0; i < entries; i++ {
+			op := d.Read(r.Uint64(), 0)
+			forced += uint64(len(op.Forced))
+		}
+		measured := float64(forced) / float64(entries)
+		predicted := SparseOverflow(entries, sets, assoc)
+		// The static fill matches the Poisson model within a small
+		// absolute tolerance (random placement, no dynamics).
+		if math.Abs(measured-predicted) > 0.03 {
+			t.Errorf("occ %.2f: measured %.4f vs predicted %.4f", occ, measured, predicted)
+		}
+	}
+}
+
+func TestSparseSafeOccupancy(t *testing.T) {
+	// 8-way at eps=0.1%: the safe region must be substantially below 1x —
+	// that is WHY Sparse directories over-provision.
+	safe := SparseSafeOccupancy(1024, 8, 0.001)
+	if safe < 0.3 || safe > 0.8 {
+		t.Errorf("safe occupancy = %.3f, want within (0.3, 0.8)", safe)
+	}
+	// Direct-mapped is far worse.
+	dm := SparseSafeOccupancy(8192, 1, 0.001)
+	if dm >= safe {
+		t.Errorf("direct-mapped safe occupancy %.3f >= 8-way %.3f", dm, safe)
+	}
+	// And far below the cuckoo reliable region at comparable lookup width.
+	ck := CuckooReliableOccupancy(4, 32)
+	if ck <= safe {
+		t.Errorf("cuckoo reliable %.3f should exceed sparse safe %.3f", ck, safe)
+	}
+}
+
+func TestCuckooReliableOccupancy(t *testing.T) {
+	// Must agree with the Monte Carlo reliable regions measured in
+	// internal/core's TestLoadThresholds: ~0.5 (2-ary), ~0.78 (3-ary),
+	// ~0.82 (4-ary) with the 32-attempt cap.
+	cases := map[int]struct{ lo, hi float64 }{
+		2: {0.45, 0.52},
+		3: {0.70, 0.85},
+		4: {0.78, 0.92},
+	}
+	for d, want := range cases {
+		got := CuckooReliableOccupancy(d, 32)
+		if got < want.lo || got > want.hi {
+			t.Errorf("%d-ary reliable occupancy = %.3f, want in [%.2f, %.2f]", d, got, want.lo, want.hi)
+		}
+	}
+	// Unbounded budget returns the raw threshold.
+	if got := CuckooReliableOccupancy(3, 0); got != loadThreshold(3) {
+		t.Errorf("unbounded budget = %.4f", got)
+	}
+	if CuckooReliableOccupancy(1, 32) != 0 {
+		t.Error("degenerate ways should be unusable")
+	}
+}
+
+// TestThresholdsMatchCore keeps the local table in sync with
+// core.LoadThreshold.
+func TestThresholdsMatchCore(t *testing.T) {
+	for d := 2; d <= 10; d++ {
+		if loadThreshold(d) != core.LoadThreshold(d) {
+			t.Errorf("threshold mismatch at d=%d", d)
+		}
+	}
+}
+
+// TestCuckooMonteCarloAgreement closes the loop: the analytic reliable
+// occupancy must fall inside the failure-free region the actual table
+// exhibits (strong hashes).
+func TestCuckooMonteCarloAgreement(t *testing.T) {
+	for _, d := range []int{3, 4} {
+		pred := CuckooReliableOccupancy(d, 32)
+		bins := core.Characterize(core.CharacterizeConfig{
+			Ways:       d,
+			SetsPerWay: 8192,
+			Keys:       60000,
+			Bins:       50,
+			Seed:       2027,
+			Hash:       hashfn.Strong{},
+		})
+		measured := 0.0
+		for _, b := range bins {
+			if b.Insertions < 50 {
+				continue
+			}
+			if b.FailureProb >= 0.01 {
+				break
+			}
+			measured = b.Occupancy
+		}
+		if math.Abs(measured-pred) > 0.08 {
+			t.Errorf("%d-ary: analytic %.3f vs Monte Carlo %.3f", d, pred, measured)
+		}
+	}
+}
+
+func TestRequiredProvisioning(t *testing.T) {
+	if got := RequiredProvisioning(0.5); got != 2 {
+		t.Errorf("1/0.5 = %v", got)
+	}
+	if !math.IsInf(RequiredProvisioning(0), 1) {
+		t.Error("zero occupancy should demand infinite provisioning")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SparseOverflow(0, 8, 2) },
+		func() { SparseOverflow(8, 0, 2) },
+		func() { SparseOverflow(8, 8, 0) },
+		func() { SparseSafeOccupancy(8, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,125 @@
+// Package noc models the on-chip interconnect of the tiled CMP (Figure 2)
+// as a 2D mesh with dimension-ordered (X-then-Y) routing and per-hop
+// latency. The model is latency- and occupancy-free (no contention):
+// directory studies need message counts and distances, which the mesh
+// accounts exactly, not router microarchitecture.
+package noc
+
+import (
+	"fmt"
+
+	"cuckoodir/internal/event"
+)
+
+// Config describes the mesh.
+type Config struct {
+	// Width and Height in tiles; tile i sits at (i%Width, i/Width).
+	Width, Height int
+	// HopLatency is the link traversal cost per hop; RouterLatency the
+	// per-router pipeline cost (charged per hop as well).
+	HopLatency    event.Time
+	RouterLatency event.Time
+	// FlitBytes scales the serialization cost: a message of size s bytes
+	// adds ceil(s/FlitBytes)-1 cycles of serialization. 0 disables.
+	FlitBytes int
+}
+
+// DefaultConfig returns a 4x4 mesh (16 tiles) with 1-cycle links, 2-cycle
+// routers and 16-byte flits — ordinary values for the paper's era.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, HopLatency: 1, RouterLatency: 2, FlitBytes: 16}
+}
+
+// Stats counts traffic.
+type Stats struct {
+	Messages uint64
+	Hops     uint64
+	Bytes    uint64
+}
+
+// Mesh is the interconnect instance.
+//
+// The mesh preserves point-to-point ordering: two messages from the same
+// source to the same destination are delivered in send order even when
+// the first is longer (dimension-ordered routing with FIFO virtual
+// channels provides this in hardware). Coherence protocols rely on it —
+// without it, a control message can overtake an earlier writeback and
+// replay stale state.
+type Mesh struct {
+	cfg   Config
+	q     *event.Queue
+	stats Stats
+	last  map[pair]event.Time
+}
+
+type pair struct{ src, dst int }
+
+// New builds a mesh on the given event queue.
+func New(cfg Config, q *event.Queue) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic(fmt.Sprintf("noc: bad mesh %dx%d", cfg.Width, cfg.Height))
+	}
+	if q == nil {
+		panic("noc: nil event queue")
+	}
+	return &Mesh{cfg: cfg, q: q, last: make(map[pair]event.Time)}
+}
+
+// Tiles returns the tile count.
+func (m *Mesh) Tiles() int { return m.cfg.Width * m.cfg.Height }
+
+// Stats returns a copy of the traffic counters.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the traffic counters.
+func (m *Mesh) ResetStats() { m.stats = Stats{} }
+
+// Distance returns the Manhattan hop count between tiles a and b.
+func (m *Mesh) Distance(a, b int) int {
+	m.check(a)
+	m.check(b)
+	ax, ay := a%m.cfg.Width, a/m.cfg.Width
+	bx, by := b%m.cfg.Width, b/m.cfg.Width
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Latency returns the delivery latency of a size-byte message from a to b.
+func (m *Mesh) Latency(a, b, size int) event.Time {
+	hops := event.Time(m.Distance(a, b))
+	lat := hops*(m.cfg.HopLatency+m.cfg.RouterLatency) + m.cfg.RouterLatency
+	if m.cfg.FlitBytes > 0 && size > m.cfg.FlitBytes {
+		flits := (size + m.cfg.FlitBytes - 1) / m.cfg.FlitBytes
+		lat += event.Time(flits - 1)
+	}
+	return lat
+}
+
+// Send schedules deliver after the routed latency from src to dst and
+// accounts the traffic. Delivery respects point-to-point ordering: a
+// message never arrives before an earlier message on the same (src, dst)
+// pair.
+func (m *Mesh) Send(src, dst, size int, deliver func()) {
+	at := m.q.Now() + m.Latency(src, dst, size)
+	p := pair{src: src, dst: dst}
+	if prev, ok := m.last[p]; ok && at <= prev {
+		at = prev + 1
+	}
+	m.last[p] = at
+	m.stats.Messages++
+	m.stats.Hops += uint64(m.Distance(src, dst))
+	m.stats.Bytes += uint64(size)
+	m.q.At(at, deliver)
+}
+
+func (m *Mesh) check(tile int) {
+	if tile < 0 || tile >= m.Tiles() {
+		panic(fmt.Sprintf("noc: tile %d out of range [0,%d)", tile, m.Tiles()))
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

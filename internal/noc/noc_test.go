@@ -1,0 +1,126 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cuckoodir/internal/event"
+)
+
+func TestDistance(t *testing.T) {
+	var q event.Queue
+	m := New(Config{Width: 4, Height: 4, HopLatency: 1, RouterLatency: 1}, &q)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 3, 3},  // same row
+		{0, 12, 3}, // same column
+		{0, 15, 6}, // opposite corners
+		{5, 10, 2}, // (1,1) -> (2,2)
+		{15, 0, 6}, // symmetric
+	}
+	for _, c := range cases {
+		if got := m.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property (testing/quick): Manhattan distance is symmetric, satisfies the
+// triangle inequality, and is zero exactly on the diagonal.
+func TestQuickDistanceMetric(t *testing.T) {
+	var q event.Queue
+	m := New(Config{Width: 8, Height: 8, HopLatency: 1, RouterLatency: 1}, &q)
+	prop := func(a, b, c uint8) bool {
+		x, y, z := int(a)%64, int(b)%64, int(c)%64
+		if m.Distance(x, y) != m.Distance(y, x) {
+			return false
+		}
+		if (m.Distance(x, y) == 0) != (x == y) {
+			return false
+		}
+		return m.Distance(x, z) <= m.Distance(x, y)+m.Distance(y, z)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyAndDelivery(t *testing.T) {
+	var q event.Queue
+	m := New(Config{Width: 4, Height: 4, HopLatency: 1, RouterLatency: 2, FlitBytes: 16}, &q)
+	// 3 hops: 3*(1+2) + 2 = 11 cycles for a small message.
+	if got := m.Latency(0, 3, 8); got != 11 {
+		t.Fatalf("Latency = %d, want 11", got)
+	}
+	// 72-byte message adds ceil(72/16)-1 = 4 serialization cycles.
+	if got := m.Latency(0, 3, 72); got != 15 {
+		t.Fatalf("data Latency = %d, want 15", got)
+	}
+	delivered := event.Time(0)
+	m.Send(0, 3, 72, func() { delivered = q.Now() })
+	for q.Step() {
+	}
+	if delivered != 15 {
+		t.Fatalf("delivered at %d, want 15", delivered)
+	}
+	st := m.Stats()
+	if st.Messages != 1 || st.Hops != 3 || st.Bytes != 72 {
+		t.Fatalf("stats = %+v", st)
+	}
+	m.ResetStats()
+	if m.Stats() != (Stats{}) {
+		t.Fatal("ResetStats incomplete")
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	var q event.Queue
+	m := New(DefaultConfig(), &q)
+	// Local delivery still costs the router pipeline.
+	if got := m.Latency(5, 5, 8); got != DefaultConfig().RouterLatency {
+		t.Fatalf("self latency = %d", got)
+	}
+}
+
+func TestTiles(t *testing.T) {
+	var q event.Queue
+	m := New(Config{Width: 8, Height: 2, HopLatency: 1, RouterLatency: 1}, &q)
+	if m.Tiles() != 16 {
+		t.Fatalf("Tiles = %d", m.Tiles())
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	var q event.Queue
+	m := New(DefaultConfig(), &q)
+	for _, fn := range []func(){
+		func() { m.Distance(-1, 0) },
+		func() { m.Distance(0, 16) },
+		func() { m.Send(0, 99, 8, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for bad config")
+			}
+		}()
+		New(Config{Width: 0, Height: 4}, &q)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for nil queue")
+			}
+		}()
+		New(DefaultConfig(), nil)
+	}()
+}

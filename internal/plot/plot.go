@@ -1,0 +1,223 @@
+// Package plot renders simple ASCII line charts for the experiment
+// harness, so the figure experiments can show the paper's curves — not
+// just their tabulated values — directly in a terminal.
+//
+// Charts support multiple series (one marker rune each), linear or log10
+// y-axes (the paper's energy/area figures are log-scale), and automatic
+// y-range selection. The renderer is deterministic: equal inputs produce
+// byte-identical output, so charts are testable.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	// Marker is the rune plotted for this series.
+	Marker rune
+	// Y holds one value per X position; NaN marks a missing point.
+	Y []float64
+}
+
+// Chart is an ASCII line chart over a shared discrete X axis.
+type Chart struct {
+	Title string
+	// XLabels annotates the X positions (e.g. core counts, occupancies).
+	XLabels []string
+	// YLabel names the Y axis (e.g. "% of L2 tag lookup energy").
+	YLabel string
+	// LogY selects a log10 Y axis; all plotted values must be > 0.
+	LogY bool
+	// Height is the plot rows (default 16); Width the plot columns
+	// (default: 2 per X position, min 48).
+	Height int
+	Width  int
+
+	series []Series
+}
+
+// NewChart creates a chart with the given title and X labels.
+func NewChart(title string, xLabels []string) *Chart {
+	return &Chart{Title: title, XLabels: xLabels}
+}
+
+// Add appends a series; Y must have one value per X label.
+func (c *Chart) Add(name string, marker rune, y []float64) *Chart {
+	if len(y) != len(c.XLabels) {
+		panic(fmt.Sprintf("plot: series %q has %d points for %d x positions",
+			name, len(y), len(c.XLabels)))
+	}
+	c.series = append(c.series, Series{Name: name, Marker: marker, Y: y})
+	return c
+}
+
+// transform maps a value onto the (possibly log) axis.
+func (c *Chart) transform(v float64) float64 {
+	if c.LogY {
+		return math.Log10(v)
+	}
+	return v
+}
+
+// bounds returns the [lo, hi] of all plotted values on the transformed
+// axis.
+func (c *Chart) bounds() (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			if c.LogY && v <= 0 {
+				continue
+			}
+			tv := c.transform(v)
+			if tv < lo {
+				lo = tv
+			}
+			if tv > hi {
+				hi = tv
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 0, false
+	}
+	if lo == hi {
+		lo, hi = lo-1, hi+1
+	}
+	return lo, hi, true
+}
+
+// yTick formats an axis tick at transformed value tv.
+func (c *Chart) yTick(tv float64) string {
+	v := tv
+	if c.LogY {
+		v = math.Pow(10, tv)
+	}
+	switch {
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%8.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%8.1f", v)
+	default:
+		return fmt.Sprintf("%8.3f", v)
+	}
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 4 * len(c.XLabels)
+		if width < 48 {
+			width = 48
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	lo, hi, ok := c.bounds()
+	if !ok {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	// Rasterize: grid[row][col], row 0 = top.
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	colOf := func(i int) int {
+		if len(c.XLabels) == 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(c.XLabels) - 1)
+	}
+	rowOf := func(v float64) int {
+		frac := (c.transform(v) - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		return height - 1 - r
+	}
+	for _, s := range c.series {
+		for i, v := range s.Y {
+			if math.IsNaN(v) || (c.LogY && v <= 0) {
+				continue
+			}
+			grid[rowOf(v)][colOf(i)] = s.Marker
+		}
+	}
+
+	// Emit with Y ticks on the left at top, middle, bottom.
+	for r := 0; r < height; r++ {
+		tick := "        "
+		switch r {
+		case 0:
+			tick = c.yTick(hi)
+		case height / 2:
+			tick = c.yTick(lo + (hi-lo)/2)
+		case height - 1:
+			tick = c.yTick(lo)
+		}
+		b.WriteString(tick)
+		b.WriteString(" |")
+		b.WriteString(strings.TrimRight(string(grid[r]), " "))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+
+	// X labels: first, middle, last.
+	xl := make([]rune, width+10)
+	for i := range xl {
+		xl[i] = ' '
+	}
+	place := func(i int) {
+		label := c.XLabels[i]
+		start := 10 + colOf(i) - len(label)/2
+		if start < 0 {
+			start = 0
+		}
+		if start+len(label) > len(xl) {
+			start = len(xl) - len(label)
+		}
+		copy(xl[start:], []rune(label))
+	}
+	place(0)
+	if len(c.XLabels) > 2 {
+		place(len(c.XLabels) / 2)
+	}
+	if len(c.XLabels) > 1 {
+		place(len(c.XLabels) - 1)
+	}
+	b.WriteString(strings.TrimRight(string(xl), " "))
+	b.WriteByte('\n')
+
+	// Legend.
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "y: %s", c.YLabel)
+		if c.LogY {
+			b.WriteString(" (log scale)")
+		}
+		b.WriteByte('\n')
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "  %c %s\n", s.Marker, s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBasicChart(t *testing.T) {
+	c := NewChart("demo", []string{"1", "2", "3", "4"})
+	c.Add("rising", '*', []float64{1, 2, 3, 4})
+	c.Add("flat", 'o', []float64{2.5, 2.5, 2.5, 2.5})
+	out := c.String()
+	for _, want := range []string{"demo", "*", "o", "rising", "flat", "+----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series' first point must be on a lower row (later line)
+	// than its last point.
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, ln := range lines {
+		if idx := strings.IndexRune(ln, '*'); idx >= 0 {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow >= lastRow {
+		t.Errorf("rising series not rendered as rising (rows %d..%d)", firstRow, lastRow)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() string {
+		c := NewChart("d", []string{"a", "b", "c"})
+		c.Add("s", 'x', []float64{1, 5, 2})
+		return c.String()
+	}
+	if mk() != mk() {
+		t.Fatal("chart rendering not deterministic")
+	}
+}
+
+func TestLogScale(t *testing.T) {
+	c := NewChart("log", []string{"16", "1024"})
+	c.LogY = true
+	c.YLabel = "energy"
+	c.Add("quadratic", 'D', []float64{10, 640})
+	c.Add("flat", 'C', []float64{30, 33})
+	out := c.String()
+	if !strings.Contains(out, "(log scale)") {
+		t.Error("missing log-scale annotation")
+	}
+	// On a log axis the flat series' two points should land within one
+	// row of each other while the quadratic one spans most of the plot.
+	rows := func(marker rune) (min, max int) {
+		min, max = 1<<30, -1
+		for i, ln := range strings.Split(out, "\n") {
+			if !strings.Contains(ln, " |") { // plot rows only, not legend
+				continue
+			}
+			if strings.ContainsRune(ln, marker) {
+				if i < min {
+					min = i
+				}
+				if i > max {
+					max = i
+				}
+			}
+		}
+		return min, max
+	}
+	fmin, fmax := rows('C')
+	qmin, qmax := rows('D')
+	if fmax-fmin > 2 {
+		t.Errorf("flat series spans %d rows on log axis", fmax-fmin)
+	}
+	if qmax-qmin < 8 {
+		t.Errorf("growing series spans only %d rows", qmax-qmin)
+	}
+}
+
+func TestMissingPoints(t *testing.T) {
+	c := NewChart("gaps", []string{"1", "2", "3"})
+	c.Add("partial", '#', []float64{math.NaN(), 2, math.NaN()})
+	out := c.String()
+	if strings.Count(out, "#") != 2 { // one plotted point + legend
+		t.Errorf("expected exactly one plotted point:\n%s", out)
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	c := NewChart("empty", []string{"1"})
+	c.Add("nan", 'x', []float64{math.NaN()})
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChart("bad", []string{"1", "2"}).Add("s", 'x', []float64{1})
+}
+
+func TestLogSkipsNonPositive(t *testing.T) {
+	c := NewChart("log0", []string{"1", "2"})
+	c.LogY = true
+	c.Add("s", 'x', []float64{0, 10}) // zero must be skipped, not crash
+	out := c.String()
+	if strings.Count(out, "x") != 2 { // one point + legend
+		t.Errorf("zero value should be skipped:\n%s", out)
+	}
+}
+
+func TestSingleXPosition(t *testing.T) {
+	c := NewChart("one", []string{"only"})
+	c.Add("s", 'x', []float64{5})
+	if !strings.Contains(c.String(), "x") {
+		t.Error("single-point chart lost its point")
+	}
+}

@@ -1,0 +1,138 @@
+// Package rng provides the deterministic pseudo-random number generator
+// used by the workload generators and the Monte Carlo experiments.
+//
+// The repository never uses math/rand: experiments must be reproducible
+// bit-for-bit from a seed so that EXPERIMENTS.md records stable numbers.
+// The generator is xoshiro256**, seeded through SplitMix64 as its authors
+// recommend.
+package rng
+
+import "math"
+
+// Source is a deterministic 64-bit PRNG (xoshiro256**).
+// The zero value is not usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a source seeded from the given seed via SplitMix64.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range src.s {
+		src.s[i] = next()
+	}
+	// xoshiro must not start in the all-zero state; SplitMix64 of any seed
+	// cannot produce four zero words, but keep the guard explicit.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 1
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift bounded generation (no modulo bias worth
+	// caring about at simulation sample counts, and branch-free).
+	hi, _ := mul64(r.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Zipf samples from a bounded Zipf distribution over {0, ..., n-1} with
+// exponent s > 0: P(k) proportional to 1/(k+1)^s. It precomputes the exact
+// CDF and samples by binary search, which is exact for any exponent and
+// costs O(log n) per sample — cheap next to the cache probes each sampled
+// access triggers in the simulator.
+type Zipf struct {
+	r   *Source
+	cdf []float64 // cdf[k] = P(X <= k), cdf[n-1] == 1
+}
+
+// NewZipf returns a Zipf sampler over {0..n-1} with exponent s > 0.
+func NewZipf(r *Source, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("rng: Zipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for k := 0; k < n; k++ {
+		sum += math.Exp(-s * math.Log(float64(k+1)))
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{r: r, cdf: cdf}
+}
+
+// Next returns the next sample in [0, n); smaller values are more likely.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,187 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sources with equal seeds diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) covered %d values, want 10", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %f out of range", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %f, want ~0.5", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) rate = %f", p)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(17)
+	const buckets, n = 16, 160000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-expected) > expected*0.1 {
+			t.Errorf("bucket %d count %d deviates >10%% from %f", b, c, expected)
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := New(23)
+	z := NewZipf(r, 100, 1.0)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(29)
+	z := NewZipf(r, 1000, 1.0)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// P(0)/P(1) should be ~2 for s=1; allow slack.
+	if counts[1] == 0 {
+		t.Fatal("rank 1 never sampled")
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Errorf("P(0)/P(1) = %f, want ~2", ratio)
+	}
+	// Head should dominate: top-10 ranks should hold >30% of mass at s=1, n=1000.
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if frac := float64(head) / n; frac < 0.3 {
+		t.Errorf("top-10 mass = %f, want > 0.3", frac)
+	}
+}
+
+func TestZipfUniformLimit(t *testing.T) {
+	// Small exponent approaches uniform; check no pathological skew.
+	r := New(31)
+	z := NewZipf(r, 10, 0.05)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < n/20 {
+			t.Errorf("rank %d count %d too small for near-uniform dist", i, c)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(1)
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {10, 0}, {10, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %f) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(r, tc.n, tc.s)
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1<<16, 1.0)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= z.Next()
+	}
+	_ = sink
+}

@@ -1,0 +1,178 @@
+package sharer
+
+// Coarse is the paper's "Coarse" representation (§3.3): the entry has
+// 2*ceil(log2(n)) bits. While the block has at most two sharers they are
+// stored as exact pointers; on overflow the same bits are reinterpreted as
+// a coarse vector in which each bit covers a contiguous region of
+// n / (2*ceil(log2 n)) caches (rounded up), following the SGI Origin
+// fallback the paper cites [24].
+//
+// Once coarse, the representation can only over-approximate: Remove drops a
+// region bit only via explicit Clear (an eviction by one cache says nothing
+// about the other caches in its region). This matches hardware, where the
+// directory cannot afford to re-count region occupancy on eviction.
+type Coarse struct {
+	n          int
+	bitsAvail  int // 2*ceil(log2 n), >= 2
+	regionSize int // caches per coarse bit
+	coarse     bool
+	ptrs       [2]int // valid when !coarse; -1 = empty slot
+	regions    uint64 // valid when coarse; bitsAvail <= 64 for n <= 2^32
+}
+
+// NewCoarse returns an empty coarse-capable set over n caches.
+func NewCoarse(n int) *Coarse {
+	if n <= 0 {
+		panic("sharer: NewCoarse with non-positive n")
+	}
+	c := &Coarse{n: n, bitsAvail: coarseBits(n)}
+	c.regionSize = (n + c.bitsAvail - 1) / c.bitsAvail
+	c.ptrs = [2]int{-1, -1}
+	return c
+}
+
+// coarseBits returns the provisioned entry bits: 2*ceil(log2(n)), with a
+// floor of 2 so tiny systems still hold two pointers.
+func coarseBits(n int) int {
+	b := 2 * ceilLog2(n)
+	if b < 2 {
+		b = 2
+	}
+	return b
+}
+
+// Add implements Set.
+func (c *Coarse) Add(id int) {
+	c.check(id)
+	if c.coarse {
+		c.regions |= 1 << uint(id/c.regionSize)
+		return
+	}
+	for _, p := range c.ptrs {
+		if p == id {
+			return
+		}
+	}
+	for i, p := range c.ptrs {
+		if p == -1 {
+			c.ptrs[i] = id
+			return
+		}
+	}
+	// Overflow: switch to the coarse region vector, preserving the two
+	// pointers already stored.
+	c.toCoarse()
+	c.regions |= 1 << uint(id/c.regionSize)
+}
+
+func (c *Coarse) toCoarse() {
+	c.coarse = true
+	c.regions = 0
+	for _, p := range c.ptrs {
+		if p != -1 {
+			c.regions |= 1 << uint(p/c.regionSize)
+		}
+	}
+	c.ptrs = [2]int{-1, -1}
+}
+
+// Remove implements Set. In coarse mode removal is a no-op (the region bit
+// must stay set conservatively).
+func (c *Coarse) Remove(id int) {
+	c.check(id)
+	if c.coarse {
+		return
+	}
+	for i, p := range c.ptrs {
+		if p == id {
+			c.ptrs[i] = -1
+		}
+	}
+}
+
+// Contains implements Set.
+func (c *Coarse) Contains(id int) bool {
+	c.check(id)
+	if c.coarse {
+		return c.regions&(1<<uint(id/c.regionSize)) != 0
+	}
+	return c.ptrs[0] == id || c.ptrs[1] == id
+}
+
+// Sharers implements Set.
+func (c *Coarse) Sharers(dst []int) []int {
+	if !c.coarse {
+		for _, p := range c.ptrs {
+			if p != -1 {
+				dst = append(dst, p)
+			}
+		}
+		return dst
+	}
+	for r := 0; r < c.bitsAvail && r*c.regionSize < c.n; r++ {
+		if c.regions&(1<<uint(r)) == 0 {
+			continue
+		}
+		for id := r * c.regionSize; id < (r+1)*c.regionSize && id < c.n; id++ {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// Count implements Set.
+func (c *Coarse) Count() int {
+	if !c.coarse {
+		n := 0
+		for _, p := range c.ptrs {
+			if p != -1 {
+				n++
+			}
+		}
+		return n
+	}
+	n := 0
+	for r := 0; r < c.bitsAvail; r++ {
+		if c.regions&(1<<uint(r)) != 0 {
+			hi := (r + 1) * c.regionSize
+			if hi > c.n {
+				hi = c.n
+			}
+			n += hi - r*c.regionSize
+		}
+	}
+	return n
+}
+
+// Empty implements Set.
+func (c *Coarse) Empty() bool {
+	if c.coarse {
+		return c.regions == 0
+	}
+	return c.ptrs[0] == -1 && c.ptrs[1] == -1
+}
+
+// Clear implements Set. Clearing also returns the entry to exact pointer
+// mode, as happens in hardware when the entry is recycled.
+func (c *Coarse) Clear() {
+	c.coarse = false
+	c.regions = 0
+	c.ptrs = [2]int{-1, -1}
+}
+
+// N implements Set.
+func (c *Coarse) N() int { return c.n }
+
+// Bits implements Set.
+func (c *Coarse) Bits() int { return c.bitsAvail }
+
+// Exact implements Set: exact while in pointer mode.
+func (c *Coarse) Exact() bool { return !c.coarse }
+
+func (c *Coarse) check(id int) {
+	if id < 0 || id >= c.n {
+		panic("sharer: cache id out of range")
+	}
+}
+
+var _ Set = (*Coarse)(nil)

@@ -1,0 +1,91 @@
+package sharer
+
+import "math/bits"
+
+// Full is the traditional exact bit-vector representation (Censier &
+// Feautrier): one presence bit per cache. Storage grows linearly with the
+// number of caches, which is what makes traditional Sparse directories
+// area-unscalable (paper §3.2), but within a 16-core simulation it is the
+// exact reference every other format is tested against.
+type Full struct {
+	words []uint64
+	n     int
+	count int
+}
+
+// NewFull returns an empty full bit vector over n caches.
+func NewFull(n int) *Full {
+	if n <= 0 {
+		panic("sharer: NewFull with non-positive n")
+	}
+	return &Full{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Add implements Set.
+func (f *Full) Add(id int) {
+	f.check(id)
+	w, b := id/64, uint(id%64)
+	if f.words[w]&(1<<b) == 0 {
+		f.words[w] |= 1 << b
+		f.count++
+	}
+}
+
+// Remove implements Set.
+func (f *Full) Remove(id int) {
+	f.check(id)
+	w, b := id/64, uint(id%64)
+	if f.words[w]&(1<<b) != 0 {
+		f.words[w] &^= 1 << b
+		f.count--
+	}
+}
+
+// Contains implements Set.
+func (f *Full) Contains(id int) bool {
+	f.check(id)
+	return f.words[id/64]&(1<<uint(id%64)) != 0
+}
+
+// Sharers implements Set.
+func (f *Full) Sharers(dst []int) []int {
+	for wi, w := range f.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Count implements Set.
+func (f *Full) Count() int { return f.count }
+
+// Empty implements Set.
+func (f *Full) Empty() bool { return f.count == 0 }
+
+// Clear implements Set.
+func (f *Full) Clear() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+	f.count = 0
+}
+
+// N implements Set.
+func (f *Full) N() int { return f.n }
+
+// Bits implements Set.
+func (f *Full) Bits() int { return f.n }
+
+// Exact implements Set. A full vector is always exact.
+func (f *Full) Exact() bool { return true }
+
+func (f *Full) check(id int) {
+	if id < 0 || id >= f.n {
+		panic("sharer: cache id out of range")
+	}
+}
+
+var _ Set = (*Full)(nil)

@@ -1,0 +1,156 @@
+package sharer
+
+import "math"
+
+// Hier is the two-level hierarchical representation the paper constructs
+// the Cuckoo directory with (references [44, 45], §3.3): caches are grouped
+// into ceil(sqrt(n)) clusters; the root entry holds a coarse bit per
+// cluster, and each set cluster bit points at a second-level sub-vector
+// with one exact bit per cache in the cluster.
+//
+// In hardware the second level is a separate structure whose entries
+// replicate the tag ("at the cost of additional storage to replicate the
+// tags multiple times, once for each allocated second-level entry" — §3.3);
+// this functional implementation allocates the sub-vectors lazily to expose
+// the same storage accounting, via AllocatedSubs, to the energy model.
+//
+// Unlike Coarse, Hier stays exact: the sub-vectors hold exact bits, so
+// Remove works and Empty is precise. What it costs is the extra level of
+// lookup and the replicated tags, exactly the trade the paper describes.
+type Hier struct {
+	n           int
+	clusterSize int
+	root        uint64 // one bit per cluster; clusters <= 64 for n <= 4096
+	subs        []uint64
+	count       int
+}
+
+// HierClusters returns the number of first-level clusters for n caches.
+func HierClusters(n int) int {
+	if n <= 0 {
+		panic("sharer: HierClusters with non-positive n")
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}
+
+// HierRootBits returns the root-entry sharer bits for n caches (one per
+// cluster).
+func HierRootBits(n int) int { return HierClusters(n) }
+
+// HierSubBits returns the bits of one second-level sub-vector for n caches.
+func HierSubBits(n int) int {
+	c := HierClusters(n)
+	return (n + c - 1) / c
+}
+
+// NewHier returns an empty hierarchical set over n caches.
+func NewHier(n int) *Hier {
+	if n <= 0 {
+		panic("sharer: NewHier with non-positive n")
+	}
+	clusters := HierClusters(n)
+	if clusters > 64 {
+		panic("sharer: NewHier supports up to 4096 caches")
+	}
+	size := (n + clusters - 1) / clusters
+	if size > 64 {
+		panic("sharer: hierarchical cluster too wide")
+	}
+	return &Hier{n: n, clusterSize: size, subs: make([]uint64, clusters)}
+}
+
+// Add implements Set.
+func (h *Hier) Add(id int) {
+	h.check(id)
+	cl, off := id/h.clusterSize, uint(id%h.clusterSize)
+	if h.subs[cl]&(1<<off) == 0 {
+		h.subs[cl] |= 1 << off
+		h.root |= 1 << uint(cl)
+		h.count++
+	}
+}
+
+// Remove implements Set.
+func (h *Hier) Remove(id int) {
+	h.check(id)
+	cl, off := id/h.clusterSize, uint(id%h.clusterSize)
+	if h.subs[cl]&(1<<off) != 0 {
+		h.subs[cl] &^= 1 << off
+		h.count--
+		if h.subs[cl] == 0 {
+			h.root &^= 1 << uint(cl)
+		}
+	}
+}
+
+// Contains implements Set.
+func (h *Hier) Contains(id int) bool {
+	h.check(id)
+	cl, off := id/h.clusterSize, uint(id%h.clusterSize)
+	return h.subs[cl]&(1<<off) != 0
+}
+
+// Sharers implements Set.
+func (h *Hier) Sharers(dst []int) []int {
+	for cl := range h.subs {
+		if h.root&(1<<uint(cl)) == 0 {
+			continue
+		}
+		w := h.subs[cl]
+		base := cl * h.clusterSize
+		for off := 0; w != 0; off++ {
+			if w&1 != 0 {
+				dst = append(dst, base+off)
+			}
+			w >>= 1
+		}
+	}
+	return dst
+}
+
+// Count implements Set.
+func (h *Hier) Count() int { return h.count }
+
+// Empty implements Set.
+func (h *Hier) Empty() bool { return h.count == 0 }
+
+// Clear implements Set.
+func (h *Hier) Clear() {
+	h.root = 0
+	for i := range h.subs {
+		h.subs[i] = 0
+	}
+	h.count = 0
+}
+
+// N implements Set.
+func (h *Hier) N() int { return h.n }
+
+// Bits implements Set: the root-entry sharer bits. Second-level storage is
+// reported separately (AllocatedSubs) because it is a different physical
+// structure.
+func (h *Hier) Bits() int { return len(h.subs) }
+
+// AllocatedSubs returns how many second-level sub-vector entries are
+// currently allocated (clusters with at least one sharer). Each costs a
+// replicated tag plus HierSubBits bits in hardware.
+func (h *Hier) AllocatedSubs() int {
+	n := 0
+	for cl := range h.subs {
+		if h.root&(1<<uint(cl)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Exact implements Set: the hierarchy keeps exact bits.
+func (h *Hier) Exact() bool { return true }
+
+func (h *Hier) check(id int) {
+	if id < 0 || id >= h.n {
+		panic("sharer: cache id out of range")
+	}
+}
+
+var _ Set = (*Hier)(nil)

@@ -1,0 +1,118 @@
+package sharer
+
+// Limited is the limited-pointer scheme of Agarwal et al. (Dir_p B,
+// paper reference [3]): the entry stores up to p exact cache pointers; when
+// an Add would exceed p, the entry degrades to broadcast mode, representing
+// "all caches" until it is cleared. Broadcast is the simplest of the
+// overflow policies the literature evaluates and the one whose cost the
+// directory actually observes (invalidate-all must visit every cache).
+type Limited struct {
+	n         int
+	ptrs      []int
+	broadcast bool
+}
+
+// NewLimited returns an empty limited-pointer set over n caches with p
+// pointer slots.
+func NewLimited(n, p int) *Limited {
+	if n <= 0 {
+		panic("sharer: NewLimited with non-positive n")
+	}
+	if p <= 0 {
+		panic("sharer: NewLimited with non-positive pointer count")
+	}
+	return &Limited{n: n, ptrs: make([]int, 0, p)}
+}
+
+// Add implements Set.
+func (l *Limited) Add(id int) {
+	l.check(id)
+	if l.broadcast {
+		return
+	}
+	for _, p := range l.ptrs {
+		if p == id {
+			return
+		}
+	}
+	if len(l.ptrs) == cap(l.ptrs) {
+		l.broadcast = true
+		l.ptrs = l.ptrs[:0]
+		return
+	}
+	l.ptrs = append(l.ptrs, id)
+}
+
+// Remove implements Set. No effect in broadcast mode.
+func (l *Limited) Remove(id int) {
+	l.check(id)
+	if l.broadcast {
+		return
+	}
+	for i, p := range l.ptrs {
+		if p == id {
+			l.ptrs[i] = l.ptrs[len(l.ptrs)-1]
+			l.ptrs = l.ptrs[:len(l.ptrs)-1]
+			return
+		}
+	}
+}
+
+// Contains implements Set.
+func (l *Limited) Contains(id int) bool {
+	l.check(id)
+	if l.broadcast {
+		return true
+	}
+	for _, p := range l.ptrs {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Sharers implements Set.
+func (l *Limited) Sharers(dst []int) []int {
+	if l.broadcast {
+		for id := 0; id < l.n; id++ {
+			dst = append(dst, id)
+		}
+		return dst
+	}
+	return append(dst, l.ptrs...)
+}
+
+// Count implements Set.
+func (l *Limited) Count() int {
+	if l.broadcast {
+		return l.n
+	}
+	return len(l.ptrs)
+}
+
+// Empty implements Set.
+func (l *Limited) Empty() bool { return !l.broadcast && len(l.ptrs) == 0 }
+
+// Clear implements Set.
+func (l *Limited) Clear() {
+	l.broadcast = false
+	l.ptrs = l.ptrs[:0]
+}
+
+// N implements Set.
+func (l *Limited) N() int { return l.n }
+
+// Bits implements Set.
+func (l *Limited) Bits() int { return cap(l.ptrs) * ceilLog2(l.n) }
+
+// Exact implements Set: exact until broadcast.
+func (l *Limited) Exact() bool { return !l.broadcast }
+
+func (l *Limited) check(id int) {
+	if id < 0 || id >= l.n {
+		panic("sharer: cache id out of range")
+	}
+}
+
+var _ Set = (*Limited)(nil)

@@ -1,0 +1,118 @@
+// Package sharer implements the sharer-set representations a coherence
+// directory entry can use to track which private caches hold a block.
+//
+// The paper (§3.3, §5.6, §6) constructs the Cuckoo directory with the two
+// compressed representations that scale — the coarse vector (Gupta et al. /
+// SGI Origin) and the two-level hierarchical vector (Wallach; Guo et al.) —
+// and compares against the traditional full bit vector and limited-pointer
+// schemes. "The Cuckoo organization dictates only the organization of the
+// directory itself, not the contents of each entry": any Set implementation
+// below can be plugged into any directory organization in this repository.
+//
+// Correctness contract shared by all implementations (and enforced by the
+// property tests): a Set may OVER-approximate the true sharer set — sending
+// an invalidation to a cache that no longer holds the block is wasteful but
+// safe — but must never UNDER-approximate it, because failing to invalidate
+// a real sharer breaks coherence. Exact formats (Full) additionally promise
+// equality.
+package sharer
+
+import "math/bits"
+
+// Set tracks which of n caches may hold a block.
+type Set interface {
+	// Add records cache id as a sharer. id must be in [0, N()).
+	Add(id int)
+	// Remove records that cache id no longer holds the block. Compressed
+	// formats are allowed to keep over-approximating after a Remove (e.g.
+	// a coarse region bit stays set while any cache in the region could
+	// still hold the block).
+	Remove(id int)
+	// Contains reports whether id is in the (possibly over-approximated)
+	// sharer set.
+	Contains(id int) bool
+	// Sharers appends the ids of the represented sharer set to dst and
+	// returns it. The result is a superset of the true sharers.
+	Sharers(dst []int) []int
+	// Count returns the size of the represented sharer set.
+	Count() int
+	// Empty reports whether the represented set is empty. Exact formats
+	// return true as soon as the last sharer is removed; compressed
+	// formats may return false until Clear.
+	Empty() bool
+	// Clear empties the set (used when the directory invalidates all
+	// sharers or recycles the entry).
+	Clear()
+	// N returns the number of caches the set was sized for.
+	N() int
+	// Bits returns the storage cost of this representation in bits, as
+	// provisioned in hardware (independent of current contents).
+	Bits() int
+	// Exact reports whether the representation is currently exact (the
+	// represented set equals the true set, assuming callers respected the
+	// Add/Remove protocol). Full is always exact; Coarse and Limited are
+	// exact until they overflow.
+	Exact() bool
+}
+
+// Format identifies a sharer-set representation; it is the factory the
+// directories use so entry format is orthogonal to directory organization.
+type Format struct {
+	// Name identifies the format in experiment output ("full", "coarse",
+	// "limited-4", "hier").
+	Name string
+	// BitsFor returns the per-entry storage bits for n caches.
+	BitsFor func(n int) int
+	// New creates an empty set for n caches.
+	New func(n int) Set
+}
+
+// FullFormat returns the full-bit-vector format (one bit per cache).
+func FullFormat() Format {
+	return Format{
+		Name:    "full",
+		BitsFor: func(n int) int { return n },
+		New:     func(n int) Set { return NewFull(n) },
+	}
+}
+
+// CoarseFormat returns the paper's "Coarse" format: 2*ceil(log2(n)) bits
+// storing exact pointers until overflow, then a coarse region vector.
+func CoarseFormat() Format {
+	return Format{
+		Name:    "coarse",
+		BitsFor: func(n int) int { return coarseBits(n) },
+		New:     func(n int) Set { return NewCoarse(n) },
+	}
+}
+
+// LimitedFormat returns a limited-pointer format with p pointers and
+// broadcast-on-overflow (Agarwal et al.'s Dir_p B).
+func LimitedFormat(p int) Format {
+	return Format{
+		Name:    "limited",
+		BitsFor: func(n int) int { return p * ceilLog2(n) },
+		New:     func(n int) Set { return NewLimited(n, p) },
+	}
+}
+
+// HierFormat returns the two-level hierarchical format (root cluster vector
+// plus per-cluster exact sub-vectors).
+func HierFormat() Format {
+	return Format{
+		Name:    "hier",
+		BitsFor: func(n int) int { return HierRootBits(n) },
+		New:     func(n int) Set { return NewHier(n) },
+	}
+}
+
+// ceilLog2 returns ceil(log2(n)) for n >= 1 (0 for n == 1).
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// CeilLog2 exposes ceilLog2 for the energy model.
+func CeilLog2(n int) int { return ceilLog2(n) }

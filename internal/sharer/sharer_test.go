@@ -1,0 +1,416 @@
+package sharer
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cuckoodir/internal/rng"
+)
+
+// allFormats returns every format at the given cache count.
+func allFormats() []Format {
+	return []Format{FullFormat(), CoarseFormat(), LimitedFormat(4), HierFormat()}
+}
+
+func TestFullExact(t *testing.T) {
+	f := NewFull(32)
+	f.Add(0)
+	f.Add(31)
+	f.Add(31) // idempotent
+	if f.Count() != 2 {
+		t.Errorf("Count = %d, want 2", f.Count())
+	}
+	if !f.Contains(0) || !f.Contains(31) || f.Contains(5) {
+		t.Error("Contains wrong")
+	}
+	got := f.Sharers(nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 31 {
+		t.Errorf("Sharers = %v", got)
+	}
+	f.Remove(0)
+	if f.Contains(0) || f.Count() != 1 {
+		t.Error("Remove failed")
+	}
+	f.Remove(0) // idempotent
+	if f.Count() != 1 {
+		t.Error("double Remove corrupted count")
+	}
+	f.Clear()
+	if !f.Empty() {
+		t.Error("Clear failed")
+	}
+	if f.Bits() != 32 || f.N() != 32 || !f.Exact() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestFullWideVector(t *testing.T) {
+	// Cross the 64-bit word boundary.
+	f := NewFull(130)
+	for _, id := range []int{0, 63, 64, 65, 129} {
+		f.Add(id)
+	}
+	if f.Count() != 5 {
+		t.Errorf("Count = %d", f.Count())
+	}
+	got := f.Sharers(nil)
+	want := []int{0, 63, 64, 65, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Sharers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sharers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCoarseExactThenOverflow(t *testing.T) {
+	c := NewCoarse(64) // 2*6 = 12 bits, region size ceil(64/12)=6
+	if c.Bits() != 12 {
+		t.Fatalf("Bits = %d, want 12", c.Bits())
+	}
+	c.Add(3)
+	c.Add(40)
+	if !c.Exact() {
+		t.Fatal("two pointers should remain exact")
+	}
+	s := c.Sharers(nil)
+	sort.Ints(s)
+	if len(s) != 2 || s[0] != 3 || s[1] != 40 {
+		t.Fatalf("Sharers = %v", s)
+	}
+	c.Add(41) // overflow to coarse
+	if c.Exact() {
+		t.Fatal("should be coarse after third sharer")
+	}
+	// Superset property: all three added ids must still be covered.
+	for _, id := range []int{3, 40, 41} {
+		if !c.Contains(id) {
+			t.Errorf("coarse lost sharer %d", id)
+		}
+	}
+	// Remove in coarse mode is conservative.
+	c.Remove(3)
+	if !c.Contains(3) {
+		t.Error("coarse Remove must not clear region bits")
+	}
+	c.Clear()
+	if !c.Empty() || !c.Exact() {
+		t.Error("Clear must reset to exact pointer mode")
+	}
+}
+
+func TestCoarsePointerRemove(t *testing.T) {
+	c := NewCoarse(16)
+	c.Add(5)
+	c.Add(9)
+	c.Remove(5)
+	if c.Contains(5) {
+		t.Error("pointer-mode Remove failed")
+	}
+	if c.Count() != 1 {
+		t.Errorf("Count = %d, want 1", c.Count())
+	}
+	c.Add(5)
+	c.Add(5) // duplicate add must not consume the free slot
+	if c.Count() != 2 {
+		t.Errorf("Count = %d, want 2", c.Count())
+	}
+	if !c.Exact() {
+		t.Error("duplicate adds must not force coarse mode")
+	}
+}
+
+func TestCoarseRegionCoverage(t *testing.T) {
+	c := NewCoarse(64)
+	c.Add(0)
+	c.Add(10)
+	c.Add(20)
+	// Region size 6: sharers report regions [0..5], [6..11], [18..23].
+	s := c.Sharers(nil)
+	covered := make(map[int]bool)
+	for _, id := range s {
+		covered[id] = true
+	}
+	for _, id := range []int{0, 10, 20} {
+		if !covered[id] {
+			t.Errorf("region vector does not cover %d", id)
+		}
+	}
+	if c.Count() != len(s) {
+		t.Errorf("Count = %d, len(Sharers) = %d", c.Count(), len(s))
+	}
+}
+
+func TestLimitedBroadcast(t *testing.T) {
+	l := NewLimited(32, 2)
+	l.Add(1)
+	l.Add(2)
+	if !l.Exact() || l.Count() != 2 {
+		t.Fatal("two pointers should be exact")
+	}
+	l.Add(3) // overflow -> broadcast
+	if l.Exact() {
+		t.Fatal("expected broadcast mode")
+	}
+	if l.Count() != 32 {
+		t.Errorf("broadcast Count = %d, want 32", l.Count())
+	}
+	for id := 0; id < 32; id++ {
+		if !l.Contains(id) {
+			t.Errorf("broadcast must contain %d", id)
+		}
+	}
+	if got := len(l.Sharers(nil)); got != 32 {
+		t.Errorf("broadcast Sharers len = %d", got)
+	}
+	l.Remove(1) // no-op in broadcast
+	if l.Count() != 32 {
+		t.Error("broadcast Remove must be conservative")
+	}
+	l.Clear()
+	if !l.Empty() || !l.Exact() {
+		t.Error("Clear must reset broadcast")
+	}
+	if l.Bits() != 2*5 {
+		t.Errorf("Bits = %d, want 10", l.Bits())
+	}
+}
+
+func TestLimitedRemoveSwaps(t *testing.T) {
+	l := NewLimited(16, 3)
+	l.Add(1)
+	l.Add(2)
+	l.Add(3)
+	l.Remove(2)
+	if l.Contains(2) || !l.Contains(1) || !l.Contains(3) {
+		t.Error("Remove corrupted pointer list")
+	}
+	if l.Count() != 2 {
+		t.Errorf("Count = %d", l.Count())
+	}
+}
+
+func TestHierExactness(t *testing.T) {
+	h := NewHier(64) // 8 clusters of 8
+	ids := []int{0, 7, 8, 35, 63}
+	for _, id := range ids {
+		h.Add(id)
+	}
+	if h.Count() != len(ids) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(ids))
+	}
+	got := h.Sharers(nil)
+	sort.Ints(got)
+	for i, id := range ids {
+		if got[i] != id {
+			t.Fatalf("Sharers = %v, want %v", got, ids)
+		}
+	}
+	h.Remove(8)
+	if h.Contains(8) {
+		t.Error("Remove failed")
+	}
+	if h.AllocatedSubs() != 3 { // clusters 0 (ids 0,7), 4 (35), 7 (63)
+		t.Errorf("AllocatedSubs = %d, want 3", h.AllocatedSubs())
+	}
+	h.Clear()
+	if !h.Empty() || h.AllocatedSubs() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestHierGeometry(t *testing.T) {
+	if HierClusters(1024) != 32 {
+		t.Errorf("HierClusters(1024) = %d, want 32", HierClusters(1024))
+	}
+	if HierSubBits(1024) != 32 {
+		t.Errorf("HierSubBits(1024) = %d, want 32", HierSubBits(1024))
+	}
+	if HierClusters(16) != 4 || HierSubBits(16) != 4 {
+		t.Error("HierClusters/SubBits(16) wrong")
+	}
+	// Non-square counts round up.
+	if HierClusters(20) != 5 || HierSubBits(20) != 4 {
+		t.Errorf("Hier(20) = %d clusters x %d bits", HierClusters(20), HierSubBits(20))
+	}
+}
+
+// TestSupersetInvariant is the core contract: for any random op sequence,
+// every format's represented set contains the true sharer set, and exact
+// formats equal it.
+func TestSupersetInvariant(t *testing.T) {
+	const n = 48
+	r := rng.New(12345)
+	for _, format := range allFormats() {
+		set := format.New(n)
+		truth := make(map[int]bool)
+		for step := 0; step < 5000; step++ {
+			id := r.Intn(n)
+			switch r.Intn(3) {
+			case 0: // add
+				set.Add(id)
+				truth[id] = true
+			case 1: // remove
+				set.Remove(id)
+				delete(truth, id)
+			case 2: // occasionally clear, as on invalidate-all
+				if r.Intn(50) == 0 {
+					set.Clear()
+					truth = make(map[int]bool)
+				}
+			}
+			for id := range truth {
+				if !set.Contains(id) {
+					t.Fatalf("%s: under-approximation at step %d: lost sharer %d", format.Name, step, id)
+				}
+			}
+			if set.Exact() {
+				if set.Count() != len(truth) {
+					t.Fatalf("%s: exact mode count %d != truth %d", format.Name, set.Count(), len(truth))
+				}
+			}
+		}
+	}
+}
+
+// Property (testing/quick): any add sequence leaves every added id
+// covered, for every format.
+func TestQuickAddCoverage(t *testing.T) {
+	for _, format := range allFormats() {
+		format := format
+		prop := func(ids []uint8) bool {
+			s := format.New(64)
+			for _, raw := range ids {
+				s.Add(int(raw % 64))
+			}
+			for _, raw := range ids {
+				if !s.Contains(int(raw % 64)) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", format.Name, err)
+		}
+	}
+}
+
+// Property: exact formats (full, hier) are closed under add/remove — the
+// set always equals the reference map.
+func TestQuickExactFormats(t *testing.T) {
+	for _, format := range []Format{FullFormat(), HierFormat()} {
+		format := format
+		prop := func(ops []uint16) bool {
+			s := format.New(49) // non-power-of-two exercises edge clusters
+			ref := make(map[int]bool)
+			for _, op := range ops {
+				id := int(op) % 49
+				if op&0x8000 != 0 {
+					s.Remove(id)
+					delete(ref, id)
+				} else {
+					s.Add(id)
+					ref[id] = true
+				}
+			}
+			if s.Count() != len(ref) {
+				return false
+			}
+			for id := range ref {
+				if !s.Contains(id) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", format.Name, err)
+		}
+	}
+}
+
+func TestFormatBitsForMatchesNew(t *testing.T) {
+	for _, format := range allFormats() {
+		for _, n := range []int{2, 16, 32, 100} {
+			s := format.New(n)
+			if got, want := s.Bits(), format.BitsFor(n); got != want {
+				t.Errorf("%s n=%d: Set.Bits=%d, Format.BitsFor=%d", format.Name, n, got, want)
+			}
+			if s.N() != n {
+				t.Errorf("%s: N = %d, want %d", format.Name, s.N(), n)
+			}
+			if !s.Empty() {
+				t.Errorf("%s: new set not empty", format.Name)
+			}
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, format := range allFormats() {
+		s := format.New(8)
+		for _, bad := range []int{-1, 8, 100} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: Add(%d) did not panic", format.Name, bad)
+					}
+				}()
+				s.Add(bad)
+			}()
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewFull(0) },
+		func() { NewCoarse(-1) },
+		func() { NewLimited(0, 2) },
+		func() { NewLimited(8, 0) },
+		func() { NewHier(0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: constructor did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkFullAddRemove(b *testing.B) {
+	f := NewFull(64)
+	for i := 0; i < b.N; i++ {
+		f.Add(i & 63)
+		if i&7 == 0 {
+			f.Remove((i >> 1) & 63)
+		}
+	}
+}
+
+func BenchmarkCoarseAdd(b *testing.B) {
+	c := NewCoarse(1024)
+	for i := 0; i < b.N; i++ {
+		c.Add(i & 1023)
+		if i&1023 == 1023 {
+			c.Clear()
+		}
+	}
+}

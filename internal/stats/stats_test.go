@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(32)
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram: count=%d mean=%f", h.Count(), h.Mean())
+	}
+	h.Add(1)
+	h.Add(1)
+	h.Add(4)
+	if got := h.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if got := h.Bucket(1); got != 2 {
+		t.Errorf("Bucket(1) = %d, want 2", got)
+	}
+	if got := h.Mean(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("Mean = %f, want 2", got)
+	}
+	if got := h.Fraction(1); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("Fraction(1) = %f, want 2/3", got)
+	}
+}
+
+func TestHistogramClamp(t *testing.T) {
+	h := NewHistogram(32)
+	h.Add(100) // clamps to 32, as the paper counts capped insertions
+	h.Add(-5)  // clamps to 0
+	if got := h.Bucket(32); got != 1 {
+		t.Errorf("Bucket(32) = %d, want 1", got)
+	}
+	if got := h.Bucket(0); got != 1 {
+		t.Errorf("Bucket(0) = %d, want 1", got)
+	}
+	if got := h.Mean(); math.Abs(got-16.0) > 1e-12 {
+		t.Errorf("Mean = %f, want 16", got)
+	}
+}
+
+func TestHistogramFractionAtLeast(t *testing.T) {
+	h := NewHistogram(10)
+	for v := 1; v <= 10; v++ {
+		h.Add(v)
+	}
+	if got := h.FractionAtLeast(6); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FractionAtLeast(6) = %f, want 0.5", got)
+	}
+	if got := h.FractionAtLeast(0); got != 1 {
+		t.Errorf("FractionAtLeast(0) = %f, want 1", got)
+	}
+	if got := h.FractionAtLeast(11); got != 0 {
+		t.Errorf("FractionAtLeast(11) = %f, want 0", got)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(100)
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if got := h.Percentile(0.5); got != 50 {
+		t.Errorf("P50 = %d, want 50", got)
+	}
+	if got := h.Percentile(1.0); got != 100 {
+		t.Errorf("P100 = %d, want 100", got)
+	}
+	if got := h.Percentile(0.01); got != 1 {
+		t.Errorf("P1 = %d, want 1", got)
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a, b := NewHistogram(8), NewHistogram(8)
+	a.Add(2)
+	b.Add(4)
+	b.Add(4)
+	a.Merge(b)
+	if a.Count() != 3 || a.Bucket(4) != 2 {
+		t.Errorf("after merge: count=%d bucket4=%d", a.Count(), a.Bucket(4))
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Errorf("after reset: count=%d mean=%f", a.Count(), a.Mean())
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic merging mismatched histograms")
+		}
+	}()
+	NewHistogram(4).Merge(NewHistogram(8))
+}
+
+// Property: mean is always within [0, max] and Count equals samples added.
+func TestHistogramMeanBounds(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHistogram(32)
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		if h.Count() != uint64(len(vals)) {
+			return false
+		}
+		m := h.Mean()
+		return m >= 0 && m <= 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	m.Add(1)
+	m.Add(3)
+	if got := m.Value(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %f, want 2", got)
+	}
+	m.AddN(10, 2) // two samples summing to 10
+	if got := m.Value(); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("Mean = %f, want 3.5", got)
+	}
+	if m.Count() != 4 {
+		t.Errorf("Count = %d, want 4", m.Count())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	r.Observe(true)
+	r.Observe(false)
+	r.Observe(true)
+	r.Observe(true)
+	if got := r.Value(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Ratio = %f, want 0.75", got)
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	c := NewCounterSet()
+	c.Inc("insert")
+	c.Inc("insert")
+	c.AddTo("evict", 3)
+	if got := c.Get("insert"); got != 2 {
+		t.Errorf("insert = %d, want 2", got)
+	}
+	if got := c.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+	fr := c.Fractions()
+	if math.Abs(fr["insert"]-0.4) > 1e-12 {
+		t.Errorf("fraction insert = %f, want 0.4", fr["insert"])
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "insert" || names[1] != "evict" {
+		t.Errorf("Names = %v", names)
+	}
+	d := NewCounterSet()
+	d.Inc("evict")
+	d.Inc("new")
+	c.Merge(d)
+	if c.Get("evict") != 4 || c.Get("new") != 1 {
+		t.Errorf("after merge: evict=%d new=%d", c.Get("evict"), c.Get("new"))
+	}
+	sorted := c.SortedNames()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			t.Errorf("SortedNames not sorted: %v", sorted)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %f, want 4", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("GeoMean of non-positives = %f, want 0", got)
+	}
+	// Non-positive values are skipped, not zeroed.
+	if got := GeoMean([]float64{4, 0}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(4, skip 0) = %f, want 4", got)
+	}
+}
+
+func TestArithMean(t *testing.T) {
+	if got := ArithMean(nil); got != 0 {
+		t.Errorf("ArithMean(nil) = %f", got)
+	}
+	if got := ArithMean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ArithMean = %f, want 2", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.0825, 1); got != "8.2%" && got != "8.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1, 0); got != "100%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "col", "value")
+	tb.AddRow("a", "1")
+	tb.AddRowf("b", 3.14159, 7)
+	tb.AddNote("n=%d", 2)
+	s := tb.String()
+	for _, want := range []string{"Demo", "col", "a", "3.142", "note: n=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if tb.NumRows() != 2 || tb.NumCols() != 2 {
+		t.Errorf("dims = %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	if got := tb.Cell(0, 1); got != "1" {
+		t.Errorf("Cell(0,1) = %q", got)
+	}
+	if got := tb.Cell(9, 9); got != "" {
+		t.Errorf("out-of-range Cell = %q", got)
+	}
+	hs := tb.Headers()
+	hs[0] = "mutated"
+	if tb.Headers()[0] != "col" {
+		t.Error("Headers returned aliased slice")
+	}
+	rs := tb.Rows()
+	rs[0][0] = "mutated"
+	if tb.Cell(0, 0) != "a" {
+		t.Error("Rows returned aliased slice")
+	}
+}

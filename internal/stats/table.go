@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table used by the experiment harness to
+// print the rows/series that correspond to the paper's tables and figures.
+type Table struct {
+	Title   string
+	Notes   []string
+	headers []string
+	rows    [][]string
+	// charts holds pre-rendered visualizations (ASCII line charts)
+	// printed after the body and notes.
+	charts []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row. Cells beyond the header count are kept; short rows
+// are padded when rendering.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row formatting each value with %v, using the fmt
+// verb-free default representation, except float64 values which are printed
+// with 4 significant digits.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote attaches a free-text footnote rendered below the table body.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddChart attaches a pre-rendered chart printed after the notes.
+func (t *Table) AddChart(rendered string) {
+	t.charts = append(t.charts, rendered)
+}
+
+// NumRows returns the number of body rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// NumCols returns the number of header columns.
+func (t *Table) NumCols() int { return len(t.headers) }
+
+// Headers returns a copy of the header row.
+func (t *Table) Headers() []string {
+	out := make([]string, len(t.headers))
+	copy(out, t.headers)
+	return out
+}
+
+// Rows returns a deep copy of the body rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rr := make([]string, len(r))
+		copy(rr, r)
+		out[i] = rr
+	}
+	return out
+}
+
+// Cell returns the cell at (row, col) or "" when out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) {
+		return ""
+	}
+	r := t.rows[row]
+	if col < 0 || col >= len(r) {
+		return ""
+	}
+	return r[col]
+}
+
+func (t *Table) widths() []int {
+	n := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, h := range t.headers {
+		if len(h) > w[i] {
+			w[i] = len(h)
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// WriteTo renders the table in aligned plain text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := t.widths()
+	writeRow := func(cells []string) {
+		for i := 0; i < len(widths); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		// Trim trailing padding for cleanliness.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		var total int
+		for _, wd := range widths {
+			total += wd
+		}
+		total += 2 * (len(widths) - 1)
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	for _, ch := range t.charts {
+		b.WriteByte('\n')
+		b.WriteString(ch)
+	}
+	nn, err := io.WriteString(w, b.String())
+	return int64(nn), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		// strings.Builder never returns an error; keep the compiler honest.
+		panic(err)
+	}
+	return b.String()
+}

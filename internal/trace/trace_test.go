@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cuckoodir/internal/cmpsim"
+	"cuckoodir/internal/rng"
+	"cuckoodir/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	var want []Record
+	for i := 0; i < 1000; i++ {
+		rec := Record{
+			Core: r.Intn(16),
+			Access: workload.Access{
+				Addr:  r.Uint64(),
+				Write: r.Bool(0.3),
+				Code:  r.Bool(0.2),
+			},
+		}
+		if rec.Access.Code {
+			rec.Access.Write = false
+		}
+		want = append(want, rec)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1000 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Cores() != 16 {
+		t.Fatalf("Cores = %d", rd.Cores())
+	}
+	for i, wantRec := range want {
+		got, err := rd.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != wantRec {
+			t.Fatalf("record %d = %+v, want %+v", i, got, wantRec)
+		}
+	}
+	if _, err := rd.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := append([]byte("NOTMAGIC"), make([]byte, 12)...)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewWriter(io.Discard, 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewWriter(io.Discard, 256); err == nil {
+		t.Error("too many cores accepted")
+	}
+}
+
+func TestWriterRejectsBadCore(t *testing.T) {
+	w, _ := NewWriter(io.Discard, 4)
+	if err := w.Write(Record{Core: 4}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := w.Write(Record{Core: -1}); err == nil {
+		t.Error("negative core accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2)
+	w.Write(Record{Core: 1, Access: workload.Access{Addr: 42}})
+	w.Flush()
+	// Chop the last record in half.
+	data := buf.Bytes()[:buf.Len()-5]
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Read(); err == nil {
+		t.Error("truncated record read successfully")
+	}
+}
+
+func TestCaptureDeterminism(t *testing.T) {
+	prof, _ := workload.ByName("db2")
+	var a, b bytes.Buffer
+	na, err := Capture(&a, prof, 16, 9, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Capture(&b, prof, 16, 9, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("captures with identical seeds differ")
+	}
+	var c bytes.Buffer
+	if _, err := Capture(&c, prof, 16, 10, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("captures with different seeds identical")
+	}
+}
+
+// TestReplayEquivalence verifies the core promise: replaying a captured
+// trace reproduces the generator-driven simulation exactly.
+func TestReplayEquivalence(t *testing.T) {
+	prof, _ := workload.ByName("apache")
+	cfg := cmpsim.Config{Kind: cmpsim.SharedL2, Cores: 4, TrackedSets: 64, TrackedAssoc: 2}
+	const seed, n = 77, 40000
+
+	live := cmpsim.New(cfg, prof, seed, cmpsim.CuckooFactory(cmpsim.CuckooSize{Ways: 4, Sets: 64}, nil))
+	live.Run(n)
+
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, prof, cfg.Cores, seed, n); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := cmpsim.New(cfg, prof, seed+999, // generators unused on replay
+		cmpsim.CuckooFactory(cmpsim.CuckooSize{Ways: 4, Sets: 64}, nil))
+	if _, err := Replay(rd, replayed); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := live.DirStats(), replayed.DirStats()
+	for _, ev := range a.Events.Names() {
+		if a.Events.Get(ev) != b.Events.Get(ev) {
+			t.Errorf("event %s: live %d, replay %d", ev, a.Events.Get(ev), b.Events.Get(ev))
+		}
+	}
+	if a.Attempts.Mean() != b.Attempts.Mean() {
+		t.Errorf("attempts: live %f, replay %f", a.Attempts.Mean(), b.Attempts.Mean())
+	}
+	if a.ForcedEvictions != b.ForcedEvictions {
+		t.Errorf("forced: live %d, replay %d", a.ForcedEvictions, b.ForcedEvictions)
+	}
+	if live.CacheStats() != replayed.CacheStats() {
+		t.Errorf("cache stats diverged: %+v vs %+v", live.CacheStats(), replayed.CacheStats())
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	w, _ := NewWriter(io.Discard, 16)
+	rec := Record{Core: 3, Access: workload.Access{Addr: 0xdeadbeef, Write: true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
