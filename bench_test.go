@@ -8,6 +8,8 @@ package cuckoodir
 // here) for the paper-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"cuckoodir/internal/exp"
@@ -67,6 +69,85 @@ func BenchmarkCuckooDirectoryChurn(b *testing.B) {
 		if i&3 == 3 {
 			dir.Evict(addr, i&31)
 		}
+	}
+}
+
+// shardedBenchSpec returns the per-shard slice geometry for a sweep
+// point: total capacity is held at 4x8192 slots regardless of shard
+// count, so the sweep varies only concurrency, not occupancy regime.
+func shardedBenchSpec(shards int) Spec {
+	return Spec{
+		Org:       OrgCuckoo,
+		NumCaches: 32,
+		Geometry:  Geometry{Ways: 4, Sets: 8192 / shards},
+	}
+}
+
+// benchBlockAddr scatters a dense block index across the address space so
+// shard interleaving does not starve the per-shard index hashes.
+func benchBlockAddr(state uint64) uint64 {
+	return (state % (1 << 13)) * 2654435761
+}
+
+// BenchmarkShardedDirectory sweeps shard counts under parallel
+// point-operation load (RunParallel uses GOMAXPROCS goroutines) — the
+// concurrency baseline for future batching/sharding work. shards=1
+// measures pure lock contention; higher counts measure how interleaving
+// relieves it.
+func BenchmarkShardedDirectory(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			dir, err := BuildSharded(shardedBenchSpec(shards), shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var worker atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				state := worker.Add(1) * 0x9e3779b97f4a7c15
+				for pb.Next() {
+					state = state*6364136223846793005 + 1442695040888963407
+					addr := benchBlockAddr(state)
+					cache := int(state>>32) & 31
+					switch state >> 62 {
+					case 0:
+						dir.Write(addr, cache)
+					case 1:
+						dir.Evict(addr, cache)
+					default:
+						dir.Read(addr, cache)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardedDirectoryApply measures the batched path: one Apply of
+// a 1024-access batch per iteration, one lock acquisition per touched
+// shard instead of one per access.
+func BenchmarkShardedDirectoryApply(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			dir, err := BuildSharded(shardedBenchSpec(shards), shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]Access, 1024)
+			state := uint64(1)
+			for i := range batch {
+				state = state*6364136223846793005 + 1442695040888963407
+				kind := AccessRead
+				if state>>63 == 1 {
+					kind = AccessWrite
+				}
+				batch[i] = Access{Kind: kind, Addr: benchBlockAddr(state), Cache: int(state>>32) & 31}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dir.Apply(batch)
+			}
+		})
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	cuckoodir list                  # show available experiments
+//	cuckoodir orgs                  # show registered directory organizations
 //	cuckoodir run [flags] <id>...   # run selected experiments
 //	cuckoodir all [flags]           # run the whole suite
 //
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"cuckoodir/internal/cmpsim"
+	"cuckoodir/internal/directory"
 	"cuckoodir/internal/exp"
 	"cuckoodir/internal/trace"
 	"cuckoodir/internal/workload"
@@ -50,6 +52,8 @@ func run(args []string) error {
 			fmt.Printf("%-8s  %s\n", e.ID, e.Title)
 		}
 		return nil
+	case "orgs":
+		return orgsCmd()
 	case "trace":
 		return traceCmd(rest)
 	case "run", "all":
@@ -113,6 +117,36 @@ func runExperiments(ids []string, o exp.Options) error {
 	return nil
 }
 
+// orgsCmd lists the registered directory organizations: every name is
+// accepted by `trace replay -dir` and by cuckoodir.BuildNamed. Parametric
+// names ("cuckoo-WAYSxSETS", "sparse-WAYSxSETS", ...) work too.
+func orgsCmd() error {
+	fmt.Printf("%-20s %-14s %s\n", "NAME", "ORGANIZATION", "SHAPE")
+	for _, name := range directory.Names() {
+		spec, ok := directory.LookupSpec(name)
+		if !ok {
+			return fmt.Errorf("registered name %q did not resolve", name)
+		}
+		shape := spec.Geometry.String()
+		switch spec.Org {
+		case directory.OrgTagless:
+			shape = fmt.Sprintf("%d sets x %d bits x %d hashes",
+				spec.Geometry.Sets, spec.Tagless.BucketBits, spec.Tagless.Hashes)
+		case directory.OrgInCache:
+			shape = fmt.Sprintf("%d frames", spec.Capacity)
+		case directory.OrgIdeal:
+			shape = "unbounded"
+			if spec.Capacity != 0 {
+				shape = fmt.Sprintf("unbounded (nominal %d)", spec.Capacity)
+			}
+		}
+		fmt.Printf("%-20s %-14s %s\n", name, spec.Org, shape)
+	}
+	fmt.Println("\nparametric names are also accepted: cuckoo-4x1024, sparse-8x2048, skewed-4x1024,")
+	fmt.Println("elbow-4x1024, dup-tag-ASSOCxSETS, tagless-SETSxBITSxHASHES, in-cache-N, ideal-N")
+	return nil
+}
+
 // traceCmd implements `cuckoodir trace record|replay`.
 func traceCmd(args []string) error {
 	if len(args) == 0 {
@@ -125,6 +159,7 @@ func traceCmd(args []string) error {
 	n := fs.Int("n", 1_000_000, "accesses to capture")
 	seed := fs.Uint64("seed", 0, "capture seed")
 	kind := fs.String("config", "shared", "replay configuration: shared or private")
+	dir := fs.String("dir", "", "directory organization to replay against (see `orgs`; default: the chosen cuckoo size)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -169,14 +204,25 @@ func traceCmd(args []string) error {
 		if err != nil {
 			return err
 		}
-		sys := cmpsim.New(cfg, prof, 0, cmpsim.CuckooFactory(cmpsim.ChosenCuckooSize(cfgKind), nil))
+		dirName := *dir
+		if dirName == "" {
+			dirName = "cuckoo-" + cmpsim.ChosenCuckooSize(cfgKind).String()
+		}
+		spec, ok := directory.LookupSpec(dirName)
+		if !ok {
+			return fmt.Errorf("trace: unknown -dir %q (see `cuckoodir orgs`)", dirName)
+		}
+		if err := spec.WithCaches(cfg.NumCaches()).Validate(); err != nil {
+			return fmt.Errorf("trace: -dir %q: %w", dirName, err)
+		}
+		sys := cmpsim.New(cfg, prof, 0, cmpsim.SpecFactory(spec))
 		count, err := trace.Replay(rd, sys)
 		if err != nil {
 			return err
 		}
 		ds := sys.DirStats()
-		fmt.Printf("replayed %d accesses: %.2f avg insertion attempts, %d forced invalidations, occupancy %.1f%%\n",
-			count, ds.Attempts.Mean(), ds.ForcedEvictions, sys.MeanOccupancy()*100)
+		fmt.Printf("replayed %d accesses against %s: %.2f avg insertion attempts, %d forced invalidations, occupancy %.1f%%\n",
+			count, dirName, ds.Attempts.Mean(), ds.ForcedEvictions, sys.MeanOccupancy()*100)
 		return nil
 	default:
 		return fmt.Errorf("trace: unknown subcommand %q", sub)
@@ -186,10 +232,11 @@ func traceCmd(args []string) error {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   cuckoodir list                  show available experiments
+  cuckoodir orgs                  show registered directory organizations
   cuckoodir run [flags] <id>...   run selected experiments
   cuckoodir all [flags]           run the whole suite
   cuckoodir trace record -file F [-workload W] [-n N] [-seed S]
-  cuckoodir trace replay -file F [-config shared|private] [-workload W]
+  cuckoodir trace replay -file F [-config shared|private] [-workload W] [-dir ORG]
 
 flags (run/all):
   -scale quick|full   measurement scale (default quick)

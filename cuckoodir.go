@@ -2,14 +2,22 @@
 // in "Cuckoo Directory: A Scalable Directory for Many-Core Systems"
 // (Ferdman, Lotfi-Kamran, Balet, Falsafi — HPCA 2011).
 //
-// The package exposes four layers:
+// The package exposes five layers:
 //
-//   - The Cuckoo directory itself (NewCuckooDirectory) and the underlying
-//     d-ary cuckoo hash table (NewCuckooTable) — the paper's contribution.
-//   - Every competing directory organization the paper evaluates
-//     (NewSparseDirectory, NewSkewedDirectory, NewDuplicateTagDirectory,
-//     NewTaglessDirectory, NewInCacheDirectory, NewIdealDirectory), all
-//     behind the same Directory interface.
+//   - The declarative construction API: a Spec names any directory
+//     organization the paper evaluates, Build constructs it, and
+//     BuildNamed resolves string-addressable organizations
+//     ("cuckoo-4x512") through a registry — the single construction path
+//     the CLI, the experiment harness and the simulators share.
+//   - The Cuckoo directory itself (Spec{Org: OrgCuckoo, ...}) and the
+//     underlying d-ary cuckoo hash table (NewCuckooTable) — the paper's
+//     contribution — plus every competing organization (Sparse, Skewed,
+//     Elbow, Duplicate-Tag, Tagless, in-cache, ideal), all behind the
+//     same Directory interface.
+//   - The concurrent front-end: BuildSharded wraps any Spec in a
+//     ShardedDirectory, an address-interleaved, mutex-per-shard array of
+//     slices that is safe for concurrent use and offers a batched Apply
+//     path.
 //   - The evaluation platform: a functional 16-core tiled-CMP simulator
 //     (NewSystem) with the paper's Shared-L2 and Private-L2
 //     configurations and Table 2's workload suite (Workloads), plus an
@@ -18,8 +26,8 @@
 //   - The experiment harness: RunExperiment regenerates any table or
 //     figure of the paper's evaluation (Experiments lists them).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for a full
-// recorded run against the paper's results.
+// See README.md for a quickstart, the organization table and a sharding
+// example.
 package cuckoodir
 
 import (
@@ -30,7 +38,6 @@ import (
 	"cuckoodir/internal/core"
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/exp"
-	"cuckoodir/internal/hashfn"
 	"cuckoodir/internal/sharer"
 	"cuckoodir/internal/stats"
 	"cuckoodir/internal/trace"
@@ -55,6 +62,100 @@ type DirectoryStats = directory.Stats
 // Table is an aligned text table produced by experiments.
 type Table = stats.Table
 
+// ---- declarative construction API ----
+
+// Spec declaratively describes one directory slice: organization, tracked
+// cache count, geometry and per-organization parameters. It is the single
+// construction path for every organization; see Build, BuildNamed and
+// BuildSharded.
+type Spec = directory.Spec
+
+// Org names a directory organization.
+type Org = directory.Org
+
+// The directory organizations.
+const (
+	OrgCuckoo       = directory.OrgCuckoo
+	OrgSparse       = directory.OrgSparse
+	OrgSkewed       = directory.OrgSkewed
+	OrgElbow        = directory.OrgElbow
+	OrgDuplicateTag = directory.OrgDuplicateTag
+	OrgTagless      = directory.OrgTagless
+	OrgInCache      = directory.OrgInCache
+	OrgIdeal        = directory.OrgIdeal
+)
+
+// Orgs returns every organization, in paper order.
+func Orgs() []Org { return directory.Orgs() }
+
+// Geometry is a "(ways) x (sets)" directory shape.
+type Geometry = directory.Geometry
+
+// CuckooParams are the Cuckoo-specific knobs of a Spec.
+type CuckooParams = directory.CuckooParams
+
+// TaglessParams are the Tagless-specific knobs of a Spec.
+type TaglessParams = directory.TaglessParams
+
+// Build constructs the directory slice a spec describes.
+func Build(s Spec) (Directory, error) { return directory.Build(s) }
+
+// MustBuild is Build, panicking on invalid specs.
+func MustBuild(s Spec) Directory { return directory.MustBuild(s) }
+
+// BuildNamed builds a string-addressable organization ("cuckoo-4x512",
+// "sparse-8x2048", or any registered name — see SpecNames) for numCaches
+// tracked caches.
+func BuildNamed(name string, numCaches int) (Directory, error) {
+	return directory.BuildNamed(name, numCaches)
+}
+
+// RegisterSpec adds a named spec to the registry, making it addressable
+// by BuildNamed and the CLI. Specs registered with NumCaches 0 bind the
+// caller's cache count at build time.
+func RegisterSpec(name string, s Spec) error { return directory.Register(name, s) }
+
+// SpecNames returns all registered organization names, sorted.
+func SpecNames() []string { return directory.Names() }
+
+// LookupSpec resolves a registered or parametric name to its Spec.
+func LookupSpec(name string) (Spec, bool) { return directory.LookupSpec(name) }
+
+// ---- concurrent sharded front-end ----
+
+// ShardedDirectory is an address-interleaved, mutex-per-shard array of
+// directory slices behind the Directory interface — safe for concurrent
+// use, with a batched Apply path that takes each shard lock once per
+// batch.
+type ShardedDirectory = directory.ShardedDirectory
+
+// Access is one directory operation in an Apply batch.
+type Access = directory.Access
+
+// AccessKind discriminates Read/Write/Evict accesses.
+type AccessKind = directory.AccessKind
+
+// Access kinds for ShardedDirectory.Apply batches.
+const (
+	AccessRead  = directory.AccessRead
+	AccessWrite = directory.AccessWrite
+	AccessEvict = directory.AccessEvict
+)
+
+// BuildSharded builds a concurrency-safe directory of shardCount
+// address-interleaved slices, each one instance of the spec.
+func BuildSharded(s Spec, shardCount int) (*ShardedDirectory, error) {
+	return directory.BuildSharded(s, shardCount)
+}
+
+// NewSharded builds a ShardedDirectory from an explicit per-shard
+// factory (for heterogeneous or pre-built shards).
+func NewSharded(shardCount int, build func(shard int) Directory) (*ShardedDirectory, error) {
+	return directory.NewSharded(shardCount, build)
+}
+
+// ---- cuckoo hash table ----
+
 // TableConfig configures a d-ary cuckoo hash table.
 type TableConfig = core.Config
 
@@ -70,7 +171,15 @@ func NewCuckooTable[V any](cfg TableConfig) *core.Table[V] {
 	return core.NewTable[V](cfg)
 }
 
+// ---- deprecated positional constructors ----
+//
+// Thin wrappers kept for source compatibility; all of them delegate to
+// the Spec construction path.
+
 // CuckooConfig sizes a Cuckoo directory slice.
+//
+// Deprecated: declare the geometry in a Spec (Geometry for Ways/Sets,
+// CuckooParams for the rest).
 type CuckooConfig struct {
 	// Ways is d (the paper selects 3 or 4); SetsPerWay the per-way set
 	// count (capacity = Ways*SetsPerWay).
@@ -87,31 +196,35 @@ type CuckooConfig struct {
 	StashSize  int
 }
 
-// NewCuckooDirectory builds a Cuckoo directory slice tracking numCaches
-// private caches (at most 64).
-func NewCuckooDirectory(cfg CuckooConfig, numCaches int) Directory {
-	var fam hashfn.Family
-	if cfg.StrongHash {
-		fam = hashfn.Strong{}
-	}
-	return directory.NewCuckoo(core.DirConfig{
-		Table: core.Config{
-			Ways:        cfg.Ways,
-			SetsPerWay:  cfg.SetsPerWay,
+// spec converts the legacy config to the declarative form.
+func (cfg CuckooConfig) spec(numCaches int) Spec {
+	return Spec{
+		Org:       OrgCuckoo,
+		NumCaches: numCaches,
+		Geometry:  Geometry{Ways: cfg.Ways, Sets: cfg.SetsPerWay},
+		Cuckoo: CuckooParams{
 			MaxAttempts: cfg.MaxAttempts,
+			StrongHash:  cfg.StrongHash,
 			BucketSize:  cfg.BucketSize,
 			StashSize:   cfg.StashSize,
-			Hash:        fam,
 		},
-		NumCaches: numCaches,
-	})
+	}
+}
+
+// NewCuckooDirectory builds a Cuckoo directory slice tracking numCaches
+// private caches (at most 64).
+//
+// Deprecated: use Build with a Spec{Org: OrgCuckoo, ...} or
+// BuildNamed("cuckoo-WxS", numCaches).
+func NewCuckooDirectory(cfg CuckooConfig, numCaches int) Directory {
+	return MustBuild(cfg.spec(numCaches))
 }
 
 // SharerFormat is a pluggable sharer-set representation (full vector,
-// coarse, limited pointers, hierarchical).
+// coarse, limited pointers, hierarchical); set it on Spec.Format.
 type SharerFormat = sharer.Format
 
-// Sharer-set formats for NewFormattedCuckooDirectory.
+// Sharer-set formats for Spec.Format.
 func FullVectorFormat() SharerFormat          { return sharer.FullFormat() }
 func CoarseVectorFormat() SharerFormat        { return sharer.CoarseFormat() }
 func LimitedPointerFormat(p int) SharerFormat { return sharer.LimitedFormat(p) }
@@ -119,67 +232,84 @@ func HierarchicalFormat() SharerFormat        { return sharer.HierFormat() }
 
 // FormattedCuckooDirectory is a Cuckoo directory with format-pluggable
 // entries; it additionally reports the spurious invalidations and
-// dead-entry residency its compressed format costs.
+// dead-entry residency its compressed format costs. Build returns it when
+// Spec.Format is set.
 type FormattedCuckooDirectory = directory.FormattedCuckoo
 
 // NewFormattedCuckooDirectory builds a Cuckoo directory slice whose
 // entries use the given sharer-set format — the paper's §6 point that the
 // Cuckoo organization composes with any entry-compression technique.
+//
+// Deprecated: use Build with a Spec whose Format field is set.
 func NewFormattedCuckooDirectory(cfg CuckooConfig, format SharerFormat, numCaches int) *FormattedCuckooDirectory {
-	var fam hashfn.Family
-	if cfg.StrongHash {
-		fam = hashfn.Strong{}
-	}
-	return directory.NewFormattedCuckoo(core.Config{
-		Ways:        cfg.Ways,
-		SetsPerWay:  cfg.SetsPerWay,
-		MaxAttempts: cfg.MaxAttempts,
-		BucketSize:  cfg.BucketSize,
-		StashSize:   cfg.StashSize,
-		Hash:        fam,
-	}, format, numCaches)
+	s := cfg.spec(numCaches)
+	s.Format = format
+	return MustBuild(s).(*FormattedCuckooDirectory)
 }
 
 // NewSparseDirectory builds a classic set-associative Sparse directory
 // slice (Gupta et al.).
+//
+// Deprecated: use Build with a Spec{Org: OrgSparse, ...} or
+// BuildNamed("sparse-WxS", numCaches).
 func NewSparseDirectory(ways, sets, numCaches int) Directory {
-	return directory.NewSparse(ways, sets, numCaches)
+	return MustBuild(Spec{Org: OrgSparse, NumCaches: numCaches, Geometry: Geometry{Ways: ways, Sets: sets}})
 }
 
 // NewSkewedDirectory builds a skewed-associative directory slice (Seznec).
+//
+// Deprecated: use Build with a Spec{Org: OrgSkewed, ...}.
 func NewSkewedDirectory(ways, sets, numCaches int) Directory {
-	return directory.NewSkewed(ways, sets, numCaches)
+	return MustBuild(Spec{Org: OrgSkewed, NumCaches: numCaches, Geometry: Geometry{Ways: ways, Sets: sets}})
 }
 
 // NewElbowDirectory builds an Elbow-cache directory slice (Spjuth et al.):
 // skewed-associative with at most one displacement per insertion —
 // between Skewed and Cuckoo in conflict behaviour (paper §6).
+//
+// Deprecated: use Build with a Spec{Org: OrgElbow, ...}.
 func NewElbowDirectory(ways, sets, numCaches int) Directory {
-	return directory.NewElbow(ways, sets, numCaches)
+	return MustBuild(Spec{Org: OrgElbow, NumCaches: numCaches, Geometry: Geometry{Ways: ways, Sets: sets}})
 }
 
 // NewDuplicateTagDirectory builds a Duplicate-Tag directory slice
 // mirroring caches of the given geometry (Piranha).
+//
+// Deprecated: use Build with a Spec{Org: OrgDuplicateTag, ...} (Geometry
+// holds assoc x sets).
 func NewDuplicateTagDirectory(numCaches, cacheSets, cacheAssoc int) Directory {
-	return directory.NewDuplicateTag(numCaches, cacheSets, cacheAssoc)
+	return MustBuild(Spec{
+		Org: OrgDuplicateTag, NumCaches: numCaches,
+		Geometry: Geometry{Ways: cacheAssoc, Sets: cacheSets},
+	})
 }
 
 // NewTaglessDirectory builds a Tagless (Bloom-filter grid) directory slice
 // (Zebchuk et al.).
+//
+// Deprecated: use Build with a Spec{Org: OrgTagless, ...}.
 func NewTaglessDirectory(numCaches, sets, bucketBits, hashes int) Directory {
-	return directory.NewTagless(numCaches, sets, bucketBits, hashes)
+	return MustBuild(Spec{
+		Org: OrgTagless, NumCaches: numCaches,
+		Geometry: Geometry{Sets: sets},
+		Tagless:  TaglessParams{BucketBits: bucketBits, Hashes: hashes},
+	})
 }
 
 // NewInCacheDirectory builds an inclusive in-cache directory slice.
+//
+// Deprecated: use Build with a Spec{Org: OrgInCache, Capacity: l2Frames}.
 func NewInCacheDirectory(numCaches, l2Frames int) Directory {
-	return directory.NewInCache(numCaches, l2Frames)
+	return MustBuild(Spec{Org: OrgInCache, NumCaches: numCaches, Capacity: l2Frames})
 }
 
 // NewIdealDirectory builds the unbounded exact reference directory.
 // nominalCapacity (optional, 0 to disable) is the capacity against which
 // occupancy is reported.
+//
+// Deprecated: use Build with a Spec{Org: OrgIdeal, Capacity: nominal}.
 func NewIdealDirectory(numCaches, nominalCapacity int) Directory {
-	return directory.NewIdeal(numCaches, nominalCapacity)
+	return MustBuild(Spec{Org: OrgIdeal, NumCaches: numCaches, Capacity: nominalCapacity})
 }
 
 // ---- evaluation platform ----
@@ -219,8 +349,13 @@ func NewSystem(cfg SystemConfig, prof Workload, seed uint64, factory DirectoryFa
 	return cmpsim.New(cfg, prof, seed, factory)
 }
 
+// SpecSlices returns a factory building one slice per tile from the given
+// spec — the declarative way to put any organization under the functional
+// simulator.
+func SpecSlices(s Spec) DirectoryFactory { return cmpsim.SpecFactory(s) }
+
 // CuckooSlices returns a factory building Cuckoo slices of the given
-// geometry (nil hash family = the paper's skewing functions).
+// geometry (the paper's skewing hash functions).
 func CuckooSlices(size CuckooSize) DirectoryFactory {
 	return cmpsim.CuckooFactory(size, nil)
 }
@@ -265,6 +400,10 @@ func DefaultProtocolConfig() ProtocolConfig { return coherence.DefaultConfig() }
 func NewProtocolSystem(cfg ProtocolConfig, prof Workload, seed uint64, factory ProtocolFactory) *ProtocolSystem {
 	return coherence.New(cfg, prof, seed, factory)
 }
+
+// ProtocolSpecSlices returns a protocol factory building one home slice
+// per core from the given spec.
+func ProtocolSpecSlices(s Spec) ProtocolFactory { return coherence.SpecFactory(s) }
 
 // Workload is a synthetic stand-in for one Table 2 application.
 type Workload = workload.Profile
@@ -318,7 +457,7 @@ type ExperimentOptions = exp.Options
 const (
 	// QuickScale runs shortened measurements (default).
 	QuickScale = exp.Quick
-	// FullScale runs the paper-scale measurements of EXPERIMENTS.md.
+	// FullScale runs the paper-scale measurements.
 	FullScale = exp.Full
 )
 

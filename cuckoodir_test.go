@@ -185,3 +185,63 @@ func TestPublicExperiments(t *testing.T) {
 		t.Fatal("expected error for unknown experiment")
 	}
 }
+
+// TestPublicSpecAPI exercises the declarative construction surface:
+// Build, BuildNamed, registry enumeration and the sharded front-end,
+// all through the root facade.
+func TestPublicSpecAPI(t *testing.T) {
+	dir, err := Build(Spec{
+		Org:       OrgCuckoo,
+		NumCaches: 16,
+		Geometry:  Geometry{Ways: 4, Sets: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.Name() != "cuckoo" || dir.Capacity() != 256 {
+		t.Fatalf("metadata: %s %d", dir.Name(), dir.Capacity())
+	}
+	if _, err := Build(Spec{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 63}}); err == nil {
+		t.Fatal("invalid geometry built")
+	}
+
+	// Registry: the paper's chosen geometry and a parametric name.
+	for _, name := range []string{"cuckoo-4x512", "skewed-4x32"} {
+		d, err := BuildNamed(name, 16)
+		if err != nil {
+			t.Fatalf("BuildNamed(%q): %v", name, err)
+		}
+		d.Read(0x40, 1)
+		if _, ok := d.Lookup(0x40); !ok {
+			t.Fatalf("%s: lost the sharer", name)
+		}
+	}
+	if len(SpecNames()) == 0 {
+		t.Fatal("no registered spec names")
+	}
+	if _, err := BuildNamed("no-such-org", 16); err == nil {
+		t.Fatal("unknown name built")
+	}
+
+	// Sharded front-end through the facade, point ops and batch.
+	sh, err := BuildSharded(Spec{
+		Org:       OrgCuckoo,
+		NumCaches: 16,
+		Geometry:  Geometry{Ways: 4, Sets: 64},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Read(0x100, 2)
+	ops := sh.Apply([]Access{
+		{Kind: AccessRead, Addr: 0x100, Cache: 5},
+		{Kind: AccessWrite, Addr: 0x100, Cache: 2},
+		{Kind: AccessEvict, Addr: 0x100, Cache: 2},
+	})
+	if len(ops) != 3 || ops[1].Invalidate != 1<<5 {
+		t.Fatalf("Apply ops: %+v", ops)
+	}
+	if _, ok := sh.Lookup(0x100); ok {
+		t.Fatal("sharded entry not freed after evict")
+	}
+}

@@ -19,12 +19,10 @@ func main() {
 	cfg := cuckoodir.DefaultProtocolConfig()
 	size := cuckoodir.ChosenCuckooSize(cuckoodir.PrivateL2)
 	sys := cuckoodir.NewProtocolSystem(cfg, prof, 42,
-		func(_, numCaches int) cuckoodir.Directory {
-			return cuckoodir.NewCuckooDirectory(cuckoodir.CuckooConfig{
-				Ways:       size.Ways,
-				SetsPerWay: size.Sets,
-			}, numCaches)
-		})
+		cuckoodir.ProtocolSpecSlices(cuckoodir.Spec{
+			Org:      cuckoodir.OrgCuckoo,
+			Geometry: cuckoodir.Geometry{Ways: size.Ways, Sets: size.Sets},
+		}))
 
 	const warm, measure = 300_000, 300_000
 	sys.Run(warm)

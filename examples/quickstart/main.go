@@ -12,10 +12,12 @@ import (
 func main() {
 	// A 4-way Cuckoo directory slice with 4x64 = 256 entry slots,
 	// tracking 8 private caches — the paper's §4 structure in miniature.
-	dir := cuckoodir.NewCuckooDirectory(cuckoodir.CuckooConfig{
-		Ways:       4,
-		SetsPerWay: 64,
-	}, 8)
+	// Every organization is built from a declarative Spec.
+	dir := cuckoodir.MustBuild(cuckoodir.Spec{
+		Org:       cuckoodir.OrgCuckoo,
+		NumCaches: 8,
+		Geometry:  cuckoodir.Geometry{Ways: 4, Sets: 64},
+	})
 
 	// Cache 2 reads block 0x1000: the directory allocates an entry.
 	dir.Read(0x1000, 2)
@@ -52,9 +54,13 @@ func main() {
 	fmt.Printf("forced invalidations:       %d\n", st.ForcedEvictions)
 
 	// The same interface drives every competing organization the paper
-	// evaluates; a 2-way Sparse directory of equal capacity conflicts
+	// evaluates, and organizations are string-addressable through the
+	// registry; a 2-way Sparse directory of equal capacity conflicts
 	// immediately on the same fill pattern.
-	sparse := cuckoodir.NewSparseDirectory(2, 128, 8)
+	sparse, err := cuckoodir.BuildNamed("sparse-2x128", 8)
+	if err != nil {
+		panic(err)
+	}
 	for i := 0; i < 128; i++ {
 		// Stride chosen so blocks collide in the low index bits.
 		sparse.Read(uint64(i)*128, i%8)

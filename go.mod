@@ -1,0 +1,3 @@
+module cuckoodir
+
+go 1.24

@@ -293,34 +293,14 @@ func (s *System) ResetStats() {
 	s.occ = stats.Mean{}
 }
 
-// DirStats returns the directory statistics merged across slices.
+// DirStats returns the directory statistics merged across slices (the
+// merge grows the attempt histogram to the widest slice range).
 func (s *System) DirStats() *directory.Stats {
-	maxAttempts := 1
-	for _, d := range s.slices {
-		if m := d.Stats().Attempts.Max(); m > maxAttempts {
-			maxAttempts = m
-		}
+	snaps := make([]*directory.Stats, len(s.slices))
+	for i, d := range s.slices {
+		snaps[i] = d.Stats()
 	}
-	agg := core.NewDirStats(maxAttempts)
-	for _, d := range s.slices {
-		st := d.Stats()
-		if st.Attempts.Max() != maxAttempts {
-			// Histogram ranges must match to merge; normalize by copying.
-			tmp := core.NewDirStats(maxAttempts)
-			tmp.Events.Merge(st.Events)
-			for v := 0; v <= st.Attempts.Max(); v++ {
-				tmp.Attempts.AddN(v, st.Attempts.Bucket(v))
-			}
-			tmp.ForcedEvictions = st.ForcedEvictions
-			tmp.ForcedBlocks = st.ForcedBlocks
-			tmp.OccupancySum = st.OccupancySum
-			tmp.OccupancySamples = st.OccupancySamples
-			agg.Merge(tmp)
-			continue
-		}
-		agg.Merge(st)
-	}
-	return agg
+	return core.MergeDirStats(snaps...)
 }
 
 // CacheStats returns the cache statistics summed over all tracked caches.

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"cuckoodir/internal/cache"
-	"cuckoodir/internal/core"
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/workload"
 )
@@ -234,7 +233,7 @@ func TestFactoryCacheCountMismatchPanics(t *testing.T) {
 	}()
 	// Factory ignores the requested cache count and builds for 1 cache.
 	New(cfg, smallProfile(), 1, func(_, _ int) directory.Directory {
-		return directory.NewIdeal(1, 0)
+		return directory.MustBuild(directory.Spec{Org: directory.OrgIdeal, NumCaches: 1})
 	})
 }
 
@@ -336,11 +335,12 @@ func TestDirStatsMergesMixedHistogramRanges(t *testing.T) {
 	cfg := smallConfig(SharedL2)
 	sys := New(cfg, smallProfile(), 5, func(slice, n int) directory.Directory {
 		if slice == 0 {
-			return directory.NewIdeal(n, 0)
+			return directory.MustBuild(directory.Spec{Org: directory.OrgIdeal, NumCaches: n})
 		}
-		return directory.NewCuckoo(core.DirConfig{
-			Table:     core.Config{Ways: 4, SetsPerWay: 64},
+		return directory.MustBuild(directory.Spec{
+			Org:       directory.OrgCuckoo,
 			NumCaches: n,
+			Geometry:  directory.Geometry{Ways: 4, Sets: 64},
 		})
 	})
 	sys.Run(20000)

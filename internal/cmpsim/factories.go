@@ -3,7 +3,6 @@ package cmpsim
 import (
 	"math/bits"
 
-	"cuckoodir/internal/core"
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/hashfn"
 )
@@ -70,39 +69,43 @@ func ChosenCuckooSize(kind Kind) CuckooSize {
 	return CuckooSize{3, 8192}
 }
 
+// SpecFactory adapts a directory.Spec to a per-slice factory: every slice
+// is one directory built from the spec, bound to the system's tracked
+// cache count. All factories below are conveniences over it. The spec
+// must be valid apart from its cache count; building an invalid spec
+// panics (simulated systems have no error path for construction).
+func SpecFactory(spec directory.Spec) DirectoryFactory {
+	return directory.SliceFactory(spec)
+}
+
 // CuckooFactory builds Cuckoo directory slices of the given geometry using
 // the skewing hash family (the paper's final design). A nil hash selects
 // the default.
 func CuckooFactory(size CuckooSize, hash hashfn.Family) DirectoryFactory {
-	return func(_, numCaches int) directory.Directory {
-		return directory.NewCuckoo(core.DirConfig{
-			Table: core.Config{
-				Ways:       size.Ways,
-				SetsPerWay: size.Sets,
-				Hash:       hash,
-			},
-			NumCaches: numCaches,
-		})
-	}
+	return SpecFactory(directory.Spec{
+		Org:      directory.OrgCuckoo,
+		Geometry: directory.Geometry{Ways: size.Ways, Sets: size.Sets},
+		Cuckoo:   directory.CuckooParams{Hash: hash},
+	})
 }
 
 // SparseFactory builds classic Sparse slices with the given associativity
 // and provisioning factor relative to cfg's 1x capacity (Figure 12's
 // "Sparse 2x" is assoc 8, factor 2).
 func SparseFactory(cfg Config, assoc int, factor float64) DirectoryFactory {
-	sets := provisionedSets(cfg, assoc, factor)
-	return func(_, numCaches int) directory.Directory {
-		return directory.NewSparse(assoc, sets, numCaches)
-	}
+	return SpecFactory(directory.Spec{
+		Org:      directory.OrgSparse,
+		Geometry: directory.Geometry{Ways: assoc, Sets: provisionedSets(cfg, assoc, factor)},
+	})
 }
 
 // SkewedFactory builds skewed-associative slices (Figure 12's "Skewed 2x"
 // is 4-way, factor 2).
 func SkewedFactory(cfg Config, ways int, factor float64) DirectoryFactory {
-	sets := provisionedSets(cfg, ways, factor)
-	return func(_, numCaches int) directory.Directory {
-		return directory.NewSkewed(ways, sets, numCaches)
-	}
+	return SpecFactory(directory.Spec{
+		Org:      directory.OrgSkewed,
+		Geometry: directory.Geometry{Ways: ways, Sets: provisionedSets(cfg, ways, factor)},
+	})
 }
 
 // provisionedSets returns the power-of-two set count giving
@@ -120,33 +123,37 @@ func provisionedSets(cfg Config, assoc int, factor float64) int {
 // IdealFactory builds unbounded exact slices whose occupancy is reported
 // against the 1x capacity (used for Figure 8).
 func IdealFactory(cfg Config) DirectoryFactory {
-	nominal := cfg.OneXSliceCapacity()
-	return func(_, numCaches int) directory.Directory {
-		return directory.NewIdeal(numCaches, nominal)
-	}
+	return SpecFactory(directory.Spec{
+		Org:      directory.OrgIdeal,
+		Capacity: cfg.OneXSliceCapacity(),
+	})
 }
 
 // DuplicateTagFactory builds Duplicate-Tag slices mirroring cfg's tracked
 // cache geometry.
 func DuplicateTagFactory(cfg Config) DirectoryFactory {
-	return func(_, numCaches int) directory.Directory {
-		return directory.NewDuplicateTag(numCaches, cfg.TrackedSets, cfg.TrackedAssoc)
-	}
+	return SpecFactory(directory.Spec{
+		Org:      directory.OrgDuplicateTag,
+		Geometry: directory.Geometry{Ways: cfg.TrackedAssoc, Sets: cfg.TrackedSets},
+	})
 }
 
 // TaglessFactory builds Tagless slices: one grid row per tracked-cache
 // set, bucketBits-wide Bloom filters, k probe hashes.
 func TaglessFactory(cfg Config, bucketBits, k int) DirectoryFactory {
-	return func(_, numCaches int) directory.Directory {
-		return directory.NewTagless(numCaches, cfg.TrackedSets, bucketBits, k)
-	}
+	return SpecFactory(directory.Spec{
+		Org:      directory.OrgTagless,
+		Geometry: directory.Geometry{Sets: cfg.TrackedSets},
+		Tagless:  directory.TaglessParams{BucketBits: bucketBits, Hashes: k},
+	})
 }
 
 // InCacheFactory builds inclusive in-cache slices (Shared-L2 only); the
 // nominal capacity is the shared-L2 bank's frame count (1 MB per core,
 // 16384 frames per slice).
 func InCacheFactory(l2FramesPerSlice int) DirectoryFactory {
-	return func(_, numCaches int) directory.Directory {
-		return directory.NewInCache(numCaches, l2FramesPerSlice)
-	}
+	return SpecFactory(directory.Spec{
+		Org:      directory.OrgInCache,
+		Capacity: l2FramesPerSlice,
+	})
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"cuckoodir/internal/cache"
+	"cuckoodir/internal/core"
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/event"
 	"cuckoodir/internal/noc"
@@ -33,6 +34,15 @@ import (
 
 // Factory builds one directory slice for the protocol.
 type Factory func(slice, numCaches int) directory.Directory
+
+// SpecFactory adapts a directory.Spec to a protocol slice factory: every
+// home slice is one directory built from the spec, bound to the system's
+// core count. Building an invalid spec panics (the protocol system has no
+// error path for construction); validate the spec first when it comes
+// from user input.
+func SpecFactory(spec directory.Spec) Factory {
+	return directory.SliceFactory(spec)
+}
 
 // Config parameterizes the protocol system.
 type Config struct {
@@ -234,18 +244,11 @@ func (s *System) DirStats() DirTimingStats {
 
 // DirectoryStats returns the merged functional directory statistics.
 func (s *System) DirectoryStats() *directory.Stats {
-	agg := s.dirs[0].dir.Stats()
-	out := cloneStats(agg)
-	for _, d := range s.dirs[1:] {
-		out.Merge(cloneStats(d.dir.Stats()))
+	snaps := make([]*directory.Stats, len(s.dirs))
+	for i, d := range s.dirs {
+		snaps[i] = d.dir.Stats()
 	}
-	return out
-}
-
-func cloneStats(st *directory.Stats) *directory.Stats {
-	c := newStatsLike(st)
-	c.Merge(st)
-	return c
+	return core.MergeDirStats(snaps...)
 }
 
 // MeshStats returns interconnect traffic counters.

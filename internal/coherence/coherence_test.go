@@ -33,14 +33,12 @@ func testProfile() workload.Profile {
 	}
 }
 
-func idealFactory(_, n int) directory.Directory { return directory.NewIdeal(n, 0) }
+var idealFactory = SpecFactory(directory.Spec{Org: directory.OrgIdeal})
 
-func cuckooFactory(_, n int) directory.Directory {
-	return directory.NewCuckoo(core.DirConfig{
-		Table:     core.Config{Ways: 4, SetsPerWay: 64},
-		NumCaches: n,
-	})
-}
+var cuckooFactory = SpecFactory(directory.Spec{
+	Org:      directory.OrgCuckoo,
+	Geometry: directory.Geometry{Ways: 4, Sets: 64},
+})
 
 func TestRunCompletesAccesses(t *testing.T) {
 	sys := New(smallCfg(), testProfile(), 1, idealFactory)
@@ -200,7 +198,7 @@ func TestConfigValidation(t *testing.T) {
 			}
 		}()
 		New(smallCfg(), testProfile(), 1, func(_, _ int) directory.Directory {
-			return directory.NewIdeal(2, 0)
+			return directory.MustBuild(directory.Spec{Org: directory.OrgIdeal, NumCaches: 2})
 		})
 	}()
 }

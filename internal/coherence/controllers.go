@@ -4,15 +4,10 @@ import (
 	"math/bits"
 
 	"cuckoodir/internal/cache"
-	"cuckoodir/internal/core"
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/event"
 	"cuckoodir/internal/workload"
 )
-
-func newStatsLike(st *directory.Stats) *directory.Stats {
-	return core.NewDirStats(st.Attempts.Max())
-}
 
 // ---- core controller ----
 

@@ -63,6 +63,19 @@ func NewDirStats(maxAttempts int) *DirStats {
 	}
 }
 
+// MergeDirStats merges per-slice statistics into one fresh aggregate.
+// The aggregate's attempt histogram starts minimal and grows to the
+// widest input range (Histogram.Merge), so heterogeneous slices merge
+// fine. Call with no arguments for an empty aggregate to Merge into
+// incrementally (e.g. under per-slice locks).
+func MergeDirStats(stats ...*DirStats) *DirStats {
+	agg := NewDirStats(1)
+	for _, st := range stats {
+		agg.Merge(st)
+	}
+	return agg
+}
+
 // MeanOccupancy returns the average sampled occupancy.
 func (s *DirStats) MeanOccupancy() float64 {
 	if s.OccupancySamples == 0 {

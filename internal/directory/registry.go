@@ -1,0 +1,199 @@
+// Registry: name-keyed directory specs, making every organization
+// string-addressable. The CLI ("-dir cuckoo-4x512"), the experiment
+// harness and library callers all resolve organizations through it, so a
+// new organization or geometry becomes reachable everywhere by
+// registering one Spec.
+//
+// Two kinds of name resolve:
+//
+//   - registered names — canonical paper configurations pre-registered at
+//     init (Names lists them), plus anything callers Register;
+//   - parametric names — "org-WAYSxSETS" shapes parsed on demand
+//     ("cuckoo-4x512", "sparse-8x2048", "dup-tag-16x1024",
+//     "tagless-512x32x2", "in-cache-16384", "ideal-2048"), so any
+//     geometry is addressable without prior registration.
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+var registry = struct {
+	sync.RWMutex
+	specs map[string]Spec
+}{specs: make(map[string]Spec)}
+
+// Register adds a named spec to the registry. The spec may leave
+// NumCaches 0, in which case BuildNamed binds the caller's cache count.
+// Registering an invalid spec or a duplicate name fails.
+func Register(name string, spec Spec) error {
+	if name == "" {
+		return fmt.Errorf("directory: Register with empty name")
+	}
+	if err := spec.validate(true); err != nil {
+		return fmt.Errorf("directory: Register %q: %w", name, err)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.specs[name]; dup {
+		return fmt.Errorf("directory: Register %q: name already registered", name)
+	}
+	registry.specs[name] = spec
+	return nil
+}
+
+// MustRegister is Register, panicking on error (for init-time tables).
+func MustRegister(name string, spec Spec) {
+	if err := Register(name, spec); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns all registered spec names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.specs))
+	for name := range registry.specs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupSpec resolves a name to a spec: registered names first, then the
+// parametric "org-WxS" forms (ParseSpecName).
+func LookupSpec(name string) (Spec, bool) {
+	registry.RLock()
+	spec, ok := registry.specs[name]
+	registry.RUnlock()
+	if ok {
+		return spec, true
+	}
+	return ParseSpecName(name)
+}
+
+// BuildNamed builds the named organization for numCaches tracked caches.
+// numCaches, when non-zero, overrides the spec's own cache count; passing
+// 0 uses the count the spec was registered with, which only works for
+// specs registered with a non-zero NumCaches (parametric names and the
+// built-in registry leave it unbound).
+func BuildNamed(name string, numCaches int) (Directory, error) {
+	spec, ok := LookupSpec(name)
+	if !ok {
+		return nil, fmt.Errorf("directory: unknown organization %q (registered: %s; or a parametric name like cuckoo-4x512)",
+			name, strings.Join(Names(), ", "))
+	}
+	if numCaches != 0 {
+		spec.NumCaches = numCaches
+	}
+	if spec.NumCaches == 0 {
+		return nil, fmt.Errorf("directory: BuildNamed(%q, 0): the spec has no cache count of its own; pass numCaches 1..64", name)
+	}
+	return Build(spec)
+}
+
+// ParseSpecName parses a parametric organization name into a spec with
+// default parameters and an unbound cache count. Recognized shapes:
+//
+//	cuckoo-4x512  sparse-8x2048  skewed-4x1024  elbow-4x1024
+//	dup-tag-16x1024 (assoc x sets)  tagless-512x32x2 (sets x bits x k)
+//	in-cache-16384  ideal  ideal-2048
+//
+// The boolean is false when the name matches no organization; geometry
+// errors surface later, from Build.
+func ParseSpecName(name string) (Spec, bool) {
+	for _, org := range Orgs() {
+		prefix := string(org) + "-"
+		switch {
+		case name == string(org):
+			if org == OrgIdeal {
+				return Spec{Org: OrgIdeal}, true
+			}
+			return Spec{}, false // every other organization needs a geometry
+		case strings.HasPrefix(name, prefix):
+			return parseSpecParams(org, strings.TrimPrefix(name, prefix))
+		}
+	}
+	return Spec{}, false
+}
+
+// parseSpecParams parses the per-organization parameter suffix.
+func parseSpecParams(org Org, params string) (Spec, bool) {
+	dims, ok := parseDims(params)
+	if !ok {
+		return Spec{}, false
+	}
+	switch org {
+	case OrgCuckoo, OrgSparse, OrgSkewed, OrgElbow, OrgDuplicateTag:
+		if len(dims) != 2 {
+			return Spec{}, false
+		}
+		return Spec{Org: org, Geometry: Geometry{Ways: dims[0], Sets: dims[1]}}, true
+	case OrgTagless:
+		if len(dims) != 3 {
+			return Spec{}, false
+		}
+		return Spec{
+			Org:      org,
+			Geometry: Geometry{Sets: dims[0]},
+			Tagless:  TaglessParams{BucketBits: dims[1], Hashes: dims[2]},
+		}, true
+	case OrgInCache, OrgIdeal:
+		if len(dims) != 1 {
+			return Spec{}, false
+		}
+		return Spec{Org: org, Capacity: dims[0]}, true
+	}
+	return Spec{}, false
+}
+
+// parseDims parses an "AxBxC" dimension list of non-negative integers.
+func parseDims(s string) ([]int, bool) {
+	parts := strings.Split(s, "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return nil, false
+		}
+		dims = append(dims, v)
+	}
+	return dims, true
+}
+
+// The canonical paper configurations, registered so `Names` (and the
+// CLI's `orgs` command) enumerate one ready-made spec per organization.
+// Geometries are the §5 selections for the 16-core system: directory
+// slices sized against the Shared-L2 1x slice capacity of 2048 entries
+// and the Private-L2 capacity of 16384 (Table 1, Figure 9).
+func init() {
+	cuckoo := func(ways, sets int) Spec {
+		return Spec{Org: OrgCuckoo, Geometry: Geometry{Ways: ways, Sets: sets}}
+	}
+	// The paper's chosen Cuckoo geometries (§5.2/§5.3).
+	MustRegister("cuckoo-4x512", cuckoo(4, 512))   // Shared-L2, 1x
+	MustRegister("cuckoo-3x8192", cuckoo(3, 8192)) // Private-L2, 1.5x
+	// Figure 12's competitors at Shared-L2 provisioning.
+	MustRegister("sparse-8x512", Spec{Org: OrgSparse, Geometry: Geometry{Ways: 8, Sets: 512}})   // Sparse 2x
+	MustRegister("sparse-8x2048", Spec{Org: OrgSparse, Geometry: Geometry{Ways: 8, Sets: 2048}}) // Sparse 8x
+	MustRegister("skewed-4x1024", Spec{Org: OrgSkewed, Geometry: Geometry{Ways: 4, Sets: 1024}}) // Skewed 2x
+	MustRegister("elbow-4x1024", Spec{Org: OrgElbow, Geometry: Geometry{Ways: 4, Sets: 1024}})   // Elbow 2x
+	// Duplicate-Tag mirrors of the tracked caches (Table 1 geometries).
+	MustRegister("dup-tag-2x512", Spec{Org: OrgDuplicateTag, Geometry: Geometry{Ways: 2, Sets: 512}})     // L1 mirror
+	MustRegister("dup-tag-16x1024", Spec{Org: OrgDuplicateTag, Geometry: Geometry{Ways: 16, Sets: 1024}}) // private-L2 mirror
+	// Tagless grid at the tracked-L2 row count.
+	MustRegister("tagless-1024x32x2", Spec{
+		Org:      OrgTagless,
+		Geometry: Geometry{Sets: 1024},
+		Tagless:  TaglessParams{BucketBits: 32, Hashes: 2},
+	})
+	// Inclusive shared-L2 bank (1 MB per slice = 16384 frames).
+	MustRegister("in-cache-16384", Spec{Org: OrgInCache, Capacity: 16384})
+	// Unbounded exact reference.
+	MustRegister("ideal", Spec{Org: OrgIdeal})
+}

@@ -1,0 +1,246 @@
+package directory
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cuckoodir/internal/sharer"
+)
+
+// TestRegisteredNamesBuild: every name in the registry builds for a
+// 16-cache system and lands on the organization its prefix names.
+func TestRegisteredNamesBuild(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("registry is empty")
+	}
+	seen := make(map[Org]bool)
+	for _, name := range names {
+		d, err := BuildNamed(name, 16)
+		if err != nil {
+			t.Fatalf("BuildNamed(%q, 16): %v", name, err)
+		}
+		if d.NumCaches() != 16 {
+			t.Errorf("%q: NumCaches = %d, want 16", name, d.NumCaches())
+		}
+		spec, ok := LookupSpec(name)
+		if !ok {
+			t.Fatalf("LookupSpec(%q) failed after successful build", name)
+		}
+		seen[spec.Org] = true
+		if !strings.HasPrefix(name, string(spec.Org)) {
+			t.Errorf("%q resolves to organization %q", name, spec.Org)
+		}
+		// The built directory must be usable.
+		d.Read(0x40, 3)
+		if sharers, ok := d.Lookup(0x40); !ok || sharers != 1<<3 {
+			t.Errorf("%q: Lookup after Read = (%b, %v), want (1000, true)", name, sharers, ok)
+		}
+	}
+	// The canonical table covers every organization.
+	for _, org := range Orgs() {
+		if !seen[org] {
+			t.Errorf("no registered name covers organization %q", org)
+		}
+	}
+}
+
+// TestBuildNamedUnknown: unknown names error and the error names the
+// registry contents.
+func TestBuildNamedUnknown(t *testing.T) {
+	for _, name := range []string{"", "bogus", "bogus-4x512", "cuckoo", "cuckoo-4", "cuckoo-4x512x2", "sparse-8xfoo"} {
+		if _, err := BuildNamed(name, 16); err == nil {
+			t.Errorf("BuildNamed(%q) succeeded, want error", name)
+		} else if !strings.Contains(err.Error(), "unknown organization") {
+			t.Errorf("BuildNamed(%q) error %q does not say unknown organization", name, err)
+		}
+	}
+}
+
+// TestParametricNames: unregistered "org-WxS" geometries resolve through
+// ParseSpecName.
+func TestParametricNames(t *testing.T) {
+	cases := []struct {
+		name string
+		org  Org
+		cap  int
+	}{
+		{"cuckoo-4x64", OrgCuckoo, 256},
+		{"sparse-2x128", OrgSparse, 256},
+		{"skewed-4x32", OrgSkewed, 128},
+		{"elbow-4x32", OrgElbow, 128},
+		{"dup-tag-2x64", OrgDuplicateTag, 16 * 2 * 64},
+		{"in-cache-1024", OrgInCache, 1024},
+		{"ideal-512", OrgIdeal, 512},
+		{"ideal", OrgIdeal, 0},
+	}
+	for _, c := range cases {
+		d, err := BuildNamed(c.name, 16)
+		if err != nil {
+			t.Fatalf("BuildNamed(%q): %v", c.name, err)
+		}
+		if got := d.Capacity(); got != c.cap {
+			t.Errorf("%q: Capacity = %d, want %d", c.name, got, c.cap)
+		}
+	}
+	// Parametric tagless: sets x bucket bits x hashes.
+	if d, err := BuildNamed("tagless-64x32x2", 8); err != nil {
+		t.Fatalf("BuildNamed(tagless-64x32x2): %v", err)
+	} else if d.Name() != "tagless" {
+		t.Errorf("tagless parametric name built %q", d.Name())
+	}
+}
+
+// TestParametricNameBadGeometry: the name parses but the geometry fails
+// validation at build time.
+func TestParametricNameBadGeometry(t *testing.T) {
+	for _, name := range []string{"cuckoo-4x63", "cuckoo-1x64", "cuckoo-4x1", "skewed-2x1", "elbow-2x1", "sparse-8x0", "tagless-64x33x2", "tagless-64x32x9", "in-cache-0"} {
+		if _, ok := LookupSpec(name); !ok {
+			t.Fatalf("LookupSpec(%q) should parse (validation is Build's job)", name)
+		}
+		if _, err := BuildNamed(name, 16); err == nil {
+			t.Errorf("BuildNamed(%q) succeeded, want geometry error", name)
+		}
+	}
+}
+
+// TestSpecStringRoundTrips: String renders a parseable name for specs
+// with default parameters.
+func TestSpecStringRoundTrips(t *testing.T) {
+	specs := []Spec{
+		{Org: OrgCuckoo, Geometry: Geometry{Ways: 4, Sets: 512}},
+		{Org: OrgSparse, Geometry: Geometry{Ways: 8, Sets: 2048}},
+		{Org: OrgSkewed, Geometry: Geometry{Ways: 4, Sets: 1024}},
+		{Org: OrgElbow, Geometry: Geometry{Ways: 4, Sets: 1024}},
+		{Org: OrgDuplicateTag, Geometry: Geometry{Ways: 16, Sets: 1024}},
+		{Org: OrgTagless, Geometry: Geometry{Sets: 1024}, Tagless: TaglessParams{BucketBits: 32, Hashes: 2}},
+		{Org: OrgInCache, Capacity: 16384},
+		{Org: OrgIdeal},
+		{Org: OrgIdeal, Capacity: 2048},
+	}
+	for _, spec := range specs {
+		parsed, ok := ParseSpecName(spec.String())
+		if !ok {
+			t.Errorf("ParseSpecName(%q) failed", spec.String())
+			continue
+		}
+		if !reflect.DeepEqual(parsed, spec) {
+			t.Errorf("round trip of %q: got %+v, want %+v", spec.String(), parsed, spec)
+		}
+	}
+}
+
+// TestRegisterErrors: duplicates, empty names and invalid specs are
+// rejected; successful registrations resolve.
+func TestRegisterErrors(t *testing.T) {
+	// The name is org-prefixed because the registry is process-global:
+	// TestRegisteredNamesBuild iterates Names() and asserts every entry's
+	// prefix matches its organization.
+	good := Spec{Org: OrgCuckoo, Geometry: Geometry{Ways: 4, Sets: 64}}
+	if err := Register("cuckoo-test-register-ok", good); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := Register("cuckoo-test-register-ok", good); err == nil {
+		t.Error("duplicate Register succeeded")
+	}
+	if err := Register("", good); err == nil {
+		t.Error("empty-name Register succeeded")
+	}
+	bad := Spec{Org: OrgCuckoo, Geometry: Geometry{Ways: 4, Sets: 63}}
+	if err := Register("cuckoo-test-register-bad", bad); err == nil {
+		t.Error("invalid-spec Register succeeded")
+	}
+	if _, err := BuildNamed("cuckoo-test-register-ok", 8); err != nil {
+		t.Errorf("BuildNamed of registered spec: %v", err)
+	}
+	// numCaches 0 falls back to the registered count when there is one,
+	// and errors helpfully when there is not.
+	if err := Register("cuckoo-test-register-bound", good.WithCaches(4)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if d, err := BuildNamed("cuckoo-test-register-bound", 0); err != nil {
+		t.Errorf("BuildNamed(bound, 0): %v", err)
+	} else if d.NumCaches() != 4 {
+		t.Errorf("BuildNamed(bound, 0): NumCaches = %d, want the registered 4", d.NumCaches())
+	}
+	if _, err := BuildNamed("cuckoo-test-register-ok", 0); err == nil {
+		t.Error("BuildNamed(unbound, 0) succeeded, want an error naming numCaches")
+	} else if !strings.Contains(err.Error(), "numCaches") {
+		t.Errorf("BuildNamed(unbound, 0) error %q does not mention numCaches", err)
+	}
+}
+
+// TestSpecValidate: the validation matrix the Build path relies on to
+// never panic.
+func TestSpecValidate(t *testing.T) {
+	valid := []Spec{
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 3, Sets: 8192}},
+		{Org: OrgCuckoo, NumCaches: 64, Geometry: Geometry{Ways: 2, Sets: 2},
+			Cuckoo: CuckooParams{StrongHash: true, BucketSize: 2, StashSize: 4, MaxAttempts: 8}},
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 64}, Format: sharer.CoarseFormat()},
+		// Sets=1 is fine with an explicit hash family (only the default
+		// skewing family needs >= 1 index bit).
+		{Org: OrgCuckoo, NumCaches: 8, Geometry: Geometry{Ways: 4, Sets: 1}, Cuckoo: CuckooParams{StrongHash: true}},
+		{Org: OrgCuckoo, NumCaches: 8, Geometry: Geometry{Ways: 4, Sets: 1}, Cuckoo: CuckooParams{Hash: xorFold{}}},
+		{Org: OrgSparse, NumCaches: 1, Geometry: Geometry{Ways: 1, Sets: 1}},
+		{Org: OrgTagless, NumCaches: 8, Geometry: Geometry{Sets: 64}, Tagless: TaglessParams{BucketBits: 32, Hashes: 2}},
+		{Org: OrgIdeal, NumCaches: 16},
+		{Org: OrgInCache, NumCaches: 16, Capacity: 1024},
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", s, err)
+		}
+		if _, err := Build(s); err != nil {
+			t.Errorf("Build(%s) = %v, want nil", s, err)
+		}
+	}
+	invalid := []Spec{
+		{},                             // unknown org, no caches
+		{Org: "alien", NumCaches: 16},  // unknown org
+		{Org: OrgIdeal},                // NumCaches 0 outside the registry
+		{Org: OrgIdeal, NumCaches: 65}, // too many caches
+		{Org: OrgIdeal, NumCaches: -1}, // negative caches
+		{Org: OrgIdeal, NumCaches: 16, Capacity: -1},
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 1, Sets: 64}}, // ways < 2
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 48}}, // sets not 2^k
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 0}},  // no sets
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 1}},  // skew hash needs >= 1 index bit
+		{Org: OrgSkewed, NumCaches: 16, Geometry: Geometry{Ways: 2, Sets: 1}},  // skew hash needs >= 1 index bit
+		{Org: OrgElbow, NumCaches: 16, Geometry: Geometry{Ways: 2, Sets: 1}},   // skew hash needs >= 1 index bit
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 64},
+			Cuckoo: CuckooParams{MaxAttempts: -1}},
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 64},
+			Cuckoo: CuckooParams{StrongHash: true, Hash: xorFold{}}}, // both hash selectors
+		{Org: OrgSparse, NumCaches: 16, Geometry: Geometry{Ways: 0, Sets: 64}},
+		{Org: OrgSkewed, NumCaches: 16, Geometry: Geometry{Ways: 1, Sets: 64}},
+		{Org: OrgElbow, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 100}},
+		{Org: OrgDuplicateTag, NumCaches: 16, Geometry: Geometry{Ways: 0, Sets: 64}},
+		{Org: OrgTagless, NumCaches: 16, Geometry: Geometry{Sets: 64}, Tagless: TaglessParams{BucketBits: 31, Hashes: 2}},
+		{Org: OrgTagless, NumCaches: 16, Geometry: Geometry{Sets: 64}, Tagless: TaglessParams{BucketBits: 32, Hashes: 0}},
+		{Org: OrgInCache, NumCaches: 16}, // needs Capacity
+		{Org: OrgSparse, NumCaches: 16, Geometry: Geometry{Ways: 8, Sets: 64},
+			Format: sharer.CoarseFormat()}, // formats are cuckoo-only
+		// Geometries whose slot count would overflow (or exhaust memory)
+		// must fail validation, not panic or OOM at build/use time.
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 1 << 32, Sets: 1 << 32},
+			Cuckoo: CuckooParams{StrongHash: true}},
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 1 << 33}},
+		{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 1 << 20},
+			Cuckoo: CuckooParams{BucketSize: 1 << 40}},
+		{Org: OrgSparse, NumCaches: 16, Geometry: Geometry{Ways: 1 << 32, Sets: 1 << 32}},
+		{Org: OrgSkewed, NumCaches: 16, Geometry: Geometry{Ways: 1 << 31, Sets: 1 << 31}},
+		{Org: OrgDuplicateTag, NumCaches: 16, Geometry: Geometry{Ways: 1 << 32, Sets: 1 << 32}},
+		{Org: OrgTagless, NumCaches: 16, Geometry: Geometry{Sets: 1 << 32},
+			Tagless: TaglessParams{BucketBits: 1 << 32, Hashes: 2}},
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+		if _, err := Build(s); err == nil {
+			t.Errorf("Build(%+v) = nil error, want error", s)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package directory
+
+import (
+	"fmt"
+	"sync"
+
+	"cuckoodir/internal/core"
+)
+
+// AccessKind discriminates the three directory operations in a batched
+// Access stream.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	// AccessRead is a read fill (Directory.Read).
+	AccessRead AccessKind = iota
+	// AccessWrite is a write fill/upgrade (Directory.Write).
+	AccessWrite
+	// AccessEvict is a cache eviction (Directory.Evict).
+	AccessEvict
+)
+
+// String names the kind.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", uint8(k))
+	}
+}
+
+// Access is one directory operation in a batch.
+type Access struct {
+	Kind  AccessKind
+	Addr  uint64
+	Cache int
+}
+
+// ShardedDirectory is an address-interleaved array of per-shard
+// mutex-guarded directory slices behind the plain Directory interface —
+// the concurrency-safe front-end of this package. A block address homes
+// onto one shard via a mixing hash (see home), so disjoint address
+// regions proceed in parallel and per-block operation order is
+// preserved.
+//
+// Unlike every other implementation in this package, a ShardedDirectory
+// IS safe for concurrent use. Point operations (Read/Write/Evict/Lookup)
+// lock only the home shard; Apply batches operations and takes each
+// shard's lock once per batch. Stats returns a merged snapshot rather
+// than a live record.
+type ShardedDirectory struct {
+	shards    []*dirShard
+	mask      uint64
+	numCaches int
+	name      string
+}
+
+// dirShard pairs one slice with its lock. Shards are individually
+// allocated so neighbouring locks do not share a cache line.
+type dirShard struct {
+	mu  sync.Mutex
+	dir Directory
+}
+
+// NewSharded builds a concurrency-safe directory of shardCount
+// address-interleaved slices, each produced by build (called with the
+// shard index). shardCount must be a power of two; the slices must agree
+// on NumCaches.
+func NewSharded(shardCount int, build func(shard int) Directory) (*ShardedDirectory, error) {
+	if shardCount <= 0 || shardCount&(shardCount-1) != 0 {
+		return nil, fmt.Errorf("directory: NewSharded: shardCount = %d, need a positive power of two", shardCount)
+	}
+	s := &ShardedDirectory{mask: uint64(shardCount - 1)}
+	for i := 0; i < shardCount; i++ {
+		d := build(i)
+		if d == nil {
+			return nil, fmt.Errorf("directory: NewSharded: build(%d) returned nil", i)
+		}
+		if i == 0 {
+			s.numCaches = d.NumCaches()
+			s.name = fmt.Sprintf("sharded-%d(%s)", shardCount, d.Name())
+		} else if d.NumCaches() != s.numCaches {
+			return nil, fmt.Errorf("directory: NewSharded: shard %d tracks %d caches, shard 0 tracks %d",
+				i, d.NumCaches(), s.numCaches)
+		}
+		s.shards = append(s.shards, &dirShard{dir: d})
+	}
+	return s, nil
+}
+
+// BuildSharded builds a ShardedDirectory whose every shard is one slice
+// of the given spec (total capacity = shardCount x the spec's capacity).
+func BuildSharded(spec Spec, shardCount int) (*ShardedDirectory, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return NewSharded(shardCount, func(int) Directory { return MustBuild(spec) })
+}
+
+// ShardCount returns the number of shards.
+func (s *ShardedDirectory) ShardCount() int { return len(s.shards) }
+
+// home returns the shard index of addr. The address is mixed before the
+// shard bits are taken: Sparse, Tagless and Duplicate-Tag slices index
+// their sets with the raw low address bits, so consuming those same bits
+// for shard selection would leave each shard able to reach only
+// 1/shardCount of its sets, silently collapsing aggregate capacity to a
+// single slice's worth.
+func (s *ShardedDirectory) home(addr uint64) int {
+	return int((addr * 0x9e3779b97f4a7c15 >> 32) & s.mask)
+}
+
+// Name implements Directory.
+func (s *ShardedDirectory) Name() string { return s.name }
+
+// NumCaches implements Directory.
+func (s *ShardedDirectory) NumCaches() int { return s.numCaches }
+
+// Read implements Directory; it locks only addr's home shard.
+func (s *ShardedDirectory) Read(addr uint64, cache int) Op {
+	sh := s.shards[s.home(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.dir.Read(addr, cache)
+}
+
+// Write implements Directory; it locks only addr's home shard.
+func (s *ShardedDirectory) Write(addr uint64, cache int) Op {
+	sh := s.shards[s.home(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.dir.Write(addr, cache)
+}
+
+// Evict implements Directory; it locks only addr's home shard.
+func (s *ShardedDirectory) Evict(addr uint64, cache int) {
+	sh := s.shards[s.home(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.dir.Evict(addr, cache)
+}
+
+// Lookup implements Directory; it locks only addr's home shard.
+func (s *ShardedDirectory) Lookup(addr uint64) (uint64, bool) {
+	sh := s.shards[s.home(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.dir.Lookup(addr)
+}
+
+// Apply executes a batch of accesses and returns one Op per access, in
+// input order (Evicts yield zero Ops). Accesses are grouped by home
+// shard; each group drains under a single lock acquisition, and groups
+// run in parallel across shards — the batched entry point concurrent
+// drivers should prefer over per-operation calls.
+//
+// Within a shard, accesses execute in batch order, so per-block operation
+// order is exactly the input order (a block never spans shards). Ordering
+// BETWEEN blocks on different shards is not defined — callers needing
+// cross-block ordering must split their batches at the dependency.
+func (s *ShardedDirectory) Apply(accesses []Access) []Op {
+	ops := make([]Op, len(accesses))
+	if len(accesses) == 0 {
+		return ops
+	}
+	// Reject malformed batches up front, on the caller's stack, before any
+	// access executes: the panic is recoverable regardless of which worker
+	// goroutine the access would have landed in (a panic inside a worker
+	// kills the process), and no prefix of the batch is applied.
+	for _, a := range accesses {
+		if a.Kind > AccessEvict {
+			panic(fmt.Sprintf("directory: Apply: unknown access kind %d", a.Kind))
+		}
+		if a.Cache < 0 || a.Cache >= s.numCaches {
+			panic(fmt.Sprintf("directory: Apply: cache %d out of range (tracking %d)", a.Cache, s.numCaches))
+		}
+	}
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for i, a := range accesses {
+			ops[i] = applyOne(sh.dir, a)
+		}
+		return ops
+	}
+	groups := make([][]int32, len(s.shards))
+	largest := -1
+	for i, a := range accesses {
+		h := s.home(a.Addr)
+		groups[h] = append(groups[h], int32(i))
+		if largest < 0 || len(groups[h]) > len(groups[largest]) {
+			largest = h
+		}
+	}
+	// The largest group runs inline on the calling goroutine: a batch that
+	// lands on one shard then costs no spawn at all, and on spread batches
+	// the caller's core does the most work instead of blocking in Wait.
+	var wg sync.WaitGroup
+	for h, idxs := range groups {
+		if len(idxs) == 0 || h == largest {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *dirShard, idxs []int32) {
+			defer wg.Done()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			for _, i := range idxs {
+				ops[i] = applyOne(sh.dir, accesses[i])
+			}
+		}(s.shards[h], idxs)
+	}
+	func() {
+		sh := s.shards[largest]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, i := range groups[largest] {
+			ops[i] = applyOne(sh.dir, accesses[i])
+		}
+	}()
+	wg.Wait()
+	return ops
+}
+
+// applyOne dispatches one access on an already-locked slice.
+func applyOne(d Directory, a Access) Op {
+	switch a.Kind {
+	case AccessRead:
+		return d.Read(a.Addr, a.Cache)
+	case AccessWrite:
+		return d.Write(a.Addr, a.Cache)
+	case AccessEvict:
+		d.Evict(a.Addr, a.Cache)
+		return Op{}
+	default:
+		panic(fmt.Sprintf("directory: Apply: unknown access kind %d", a.Kind))
+	}
+}
+
+// Stats implements Directory, returning a merged SNAPSHOT of the
+// per-shard statistics (not a live record: mutating it does not affect
+// the shards, and later operations do not update it). Each shard is
+// locked once; heterogeneous shards with different attempt-histogram
+// ranges merge fine (the merge grows the aggregate's range).
+func (s *ShardedDirectory) Stats() *Stats {
+	agg := core.MergeDirStats()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		agg.Merge(sh.dir.Stats())
+		sh.mu.Unlock()
+	}
+	return agg
+}
+
+// ResetStats implements Directory.
+func (s *ShardedDirectory) ResetStats() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.dir.ResetStats()
+		sh.mu.Unlock()
+	}
+}
+
+// Capacity implements Directory (sum over shards; 0 when unbounded).
+func (s *ShardedDirectory) Capacity() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		c := sh.dir.Capacity()
+		sh.mu.Unlock()
+		if c == 0 {
+			return 0
+		}
+		total += c
+	}
+	return total
+}
+
+// Len implements Directory (sum over shards).
+func (s *ShardedDirectory) Len() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.dir.Len()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// ForEach implements Directory, visiting shards in index order. fn runs
+// under the visited shard's lock and must not call back into the
+// ShardedDirectory. Concurrent mutators may interleave between shards;
+// the iteration is consistent per shard, not globally.
+func (s *ShardedDirectory) ForEach(fn func(addr, sharers uint64) bool) {
+	for _, sh := range s.shards {
+		stopped := false
+		sh.mu.Lock()
+		sh.dir.ForEach(func(addr, sharers uint64) bool {
+			if !fn(addr, sharers) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		sh.mu.Unlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+var _ Directory = (*ShardedDirectory)(nil)

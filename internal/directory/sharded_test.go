@@ -1,0 +1,330 @@
+package directory
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cuckoodir/internal/rng"
+)
+
+func shardedSpec() Spec {
+	return Spec{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 256}}
+}
+
+// randomAccesses generates a deterministic mixed access stream over a
+// bounded address range (so shards see real sharing and eviction churn).
+func randomAccesses(seed uint64, n int) []Access {
+	r := rng.New(seed)
+	accs := make([]Access, n)
+	for i := range accs {
+		kind := AccessRead
+		switch r.Uint64() % 4 {
+		case 0:
+			kind = AccessWrite
+		case 1:
+			kind = AccessEvict
+		}
+		accs[i] = Access{
+			Kind:  kind,
+			Addr:  r.Uint64() % 2048,
+			Cache: int(r.Uint64() % 16),
+		}
+	}
+	return accs
+}
+
+// TestShardedMatchesUnsharded: routing through a ShardedDirectory gives
+// exactly the Ops that routing the same stream by hand to identical
+// standalone slices gives.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	const shards = 4
+	spec := shardedSpec()
+	sharded, err := BuildSharded(spec, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]Directory, shards)
+	for i := range refs {
+		refs[i] = MustBuild(spec)
+	}
+	for i, a := range randomAccesses(42, 20000) {
+		ref := refs[sharded.home(a.Addr)]
+		var got, want Op
+		switch a.Kind {
+		case AccessRead:
+			got, want = sharded.Read(a.Addr, a.Cache), ref.Read(a.Addr, a.Cache)
+		case AccessWrite:
+			got, want = sharded.Write(a.Addr, a.Cache), ref.Write(a.Addr, a.Cache)
+		case AccessEvict:
+			sharded.Evict(a.Addr, a.Cache)
+			ref.Evict(a.Addr, a.Cache)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("access %d (%v %#x cache %d): sharded op %+v, reference op %+v",
+				i, a.Kind, a.Addr, a.Cache, got, want)
+		}
+	}
+	wantLen := 0
+	for _, ref := range refs {
+		wantLen += ref.Len()
+	}
+	if sharded.Len() != wantLen {
+		t.Errorf("Len = %d, references hold %d", sharded.Len(), wantLen)
+	}
+	if got, want := sharded.Capacity(), shards*spec.Geometry.Entries(); got != want {
+		t.Errorf("Capacity = %d, want %d", got, want)
+	}
+	// Merged stats equal the sum of the per-reference stats.
+	st := sharded.Stats()
+	var events, forced uint64
+	for _, ref := range refs {
+		events += ref.Stats().Events.Total()
+		forced += ref.Stats().ForcedEvictions
+	}
+	if st.Events.Total() != events || st.ForcedEvictions != forced {
+		t.Errorf("merged stats (events %d, forced %d) != reference sums (events %d, forced %d)",
+			st.Events.Total(), st.ForcedEvictions, events, forced)
+	}
+}
+
+// TestShardedApplyMatchesPointOps: the batched Apply path returns the
+// same Ops, in input order, as per-operation calls on an identically
+// built directory.
+func TestShardedApplyMatchesPointOps(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		batched, err := BuildSharded(shardedSpec(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pointwise, err := BuildSharded(shardedSpec(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs := randomAccesses(7, 20000)
+		for start := 0; start < len(accs); start += 512 {
+			batch := accs[start:min(start+512, len(accs))]
+			got := batched.Apply(batch)
+			if len(got) != len(batch) {
+				t.Fatalf("Apply returned %d ops for %d accesses", len(got), len(batch))
+			}
+			for i, a := range batch {
+				var want Op
+				switch a.Kind {
+				case AccessRead:
+					want = pointwise.Read(a.Addr, a.Cache)
+				case AccessWrite:
+					want = pointwise.Write(a.Addr, a.Cache)
+				case AccessEvict:
+					pointwise.Evict(a.Addr, a.Cache)
+				}
+				if !reflect.DeepEqual(got[i], want) {
+					t.Fatalf("shards=%d batch@%d[%d]: Apply op %+v, pointwise op %+v",
+						shards, start, i, got[i], want)
+				}
+			}
+		}
+		if batched.Len() != pointwise.Len() {
+			t.Errorf("shards=%d: Len after Apply %d != pointwise %d", shards, batched.Len(), pointwise.Len())
+		}
+	}
+}
+
+// TestShardedApplyEmpty: a nil/empty batch is a no-op.
+func TestShardedApplyEmpty(t *testing.T) {
+	s, err := BuildSharded(shardedSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops := s.Apply(nil); len(ops) != 0 {
+		t.Errorf("Apply(nil) returned %d ops", len(ops))
+	}
+}
+
+// TestShardedConcurrent drives a ShardedDirectory from many goroutines —
+// point operations, batches, and snapshot readers at once. Run with
+// -race; correctness here is "no race, no panic, and the directory is
+// still coherent afterwards".
+func TestShardedConcurrent(t *testing.T) {
+	s, err := BuildSharded(shardedSpec(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			accs := randomAccesses(uint64(w)*1000+1, 4000)
+			if w%2 == 0 {
+				// Batched driver.
+				for start := 0; start < len(accs); start += 128 {
+					s.Apply(accs[start:min(start+128, len(accs))])
+				}
+				return
+			}
+			// Point-operation driver, with interleaved snapshot reads.
+			for i, a := range accs {
+				applyOneLocked(s, a)
+				if i%1024 == 0 {
+					s.Stats()
+					s.Len()
+					s.Lookup(a.Addr)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Post-run coherence: every tracked block has sharers, and ForEach
+	// agrees with Len.
+	tracked := 0
+	s.ForEach(func(addr, sharers uint64) bool {
+		if sharers == 0 {
+			t.Errorf("block %#x tracked with empty sharer set", addr)
+		}
+		tracked++
+		return true
+	})
+	if tracked != s.Len() {
+		t.Errorf("ForEach visited %d blocks, Len reports %d", tracked, s.Len())
+	}
+	if got := s.Stats().Events.Total(); got == 0 {
+		t.Error("no events recorded after concurrent run")
+	}
+}
+
+// applyOneLocked routes one access through the public point operations.
+func applyOneLocked(s *ShardedDirectory, a Access) {
+	switch a.Kind {
+	case AccessRead:
+		s.Read(a.Addr, a.Cache)
+	case AccessWrite:
+		s.Write(a.Addr, a.Cache)
+	case AccessEvict:
+		s.Evict(a.Addr, a.Cache)
+	}
+}
+
+// TestNewShardedErrors: shape errors are reported, not panicked.
+func TestNewShardedErrors(t *testing.T) {
+	build := func(int) Directory { return MustBuild(shardedSpec()) }
+	for _, n := range []int{0, -1, 3, 12} {
+		if _, err := NewSharded(n, build); err == nil {
+			t.Errorf("NewSharded(%d) succeeded, want power-of-two error", n)
+		}
+	}
+	if _, err := NewSharded(2, func(int) Directory { return nil }); err == nil {
+		t.Error("NewSharded with nil-building factory succeeded")
+	}
+	mismatched := func(i int) Directory {
+		return MustBuild(shardedSpec().WithCaches(8 + 8*i))
+	}
+	if _, err := NewSharded(2, mismatched); err == nil {
+		t.Error("NewSharded with mismatched NumCaches succeeded")
+	}
+	if _, err := BuildSharded(Spec{Org: OrgCuckoo, NumCaches: 16, Geometry: Geometry{Ways: 4, Sets: 48}}, 4); err == nil {
+		t.Error("BuildSharded with invalid spec succeeded")
+	}
+}
+
+// TestShardedCapacityReachable: shard homing must not alias with the
+// set-index bits of organizations that index by raw low address bits
+// (Sparse does: XorFold is the identity). With aliased homing, a shard
+// only ever receives addresses whose low bits equal its index and can
+// populate 1/shards of its sets, capping aggregate usable capacity at
+// one slice's worth; a sequential fill past that point proves the whole
+// capacity is reachable.
+func TestShardedCapacityReachable(t *testing.T) {
+	const shards = 4
+	s, err := BuildSharded(Spec{
+		Org: OrgSparse, NumCaches: 4,
+		Geometry: Geometry{Ways: 8, Sets: 64}, // 512 slots per shard, 2048 total
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fill = 1200 // > one slice's 512 slots, < 2048 aggregate
+	for addr := uint64(0); addr < fill; addr++ {
+		s.Read(addr, 0)
+	}
+	if got := s.Len(); got < 1000 {
+		t.Errorf("sequential fill of %d blocks tracked only %d — homing is starving the shards' sets", fill, got)
+	}
+}
+
+// TestShardedHeterogeneousStats: NewSharded admits shards of different
+// organizations, and Stats merges their different attempt-histogram
+// ranges (cuckoo caps at 32, sparse at 1) without panicking.
+func TestShardedHeterogeneousStats(t *testing.T) {
+	s, err := NewSharded(2, func(shard int) Directory {
+		if shard == 0 {
+			return MustBuild(shardedSpec())
+		}
+		return MustBuild(Spec{Org: OrgSparse, NumCaches: 16, Geometry: Geometry{Ways: 8, Sets: 128}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range randomAccesses(3, 5000) {
+		applyOneLocked(s, a)
+	}
+	st := s.Stats()
+	if st.Events.Total() == 0 || st.Attempts.Count() == 0 {
+		t.Fatal("heterogeneous merge lost data")
+	}
+	if st.Attempts.Max() < 32 {
+		t.Errorf("merged histogram range %d, want >= the cuckoo shard's 32", st.Attempts.Max())
+	}
+}
+
+// TestShardedApplyUnknownKind: a malformed access panics on the caller's
+// stack (recoverably), not inside a worker goroutine, and before any
+// access of the batch executes.
+func TestShardedApplyUnknownKind(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s, err := BuildSharded(shardedSpec(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("shards=%d: Apply with unknown kind did not panic on the caller's stack", shards)
+				}
+			}()
+			s.Apply([]Access{{Kind: AccessRead, Addr: 0x41}, {Kind: AccessEvict + 1, Addr: 0x40}})
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("shards=%d: Apply with out-of-range cache did not panic on the caller's stack", shards)
+				}
+			}()
+			s.Apply([]Access{{Kind: AccessRead, Addr: 0x41}, {Kind: AccessRead, Addr: 0x40, Cache: 99}})
+		}()
+		// No prefix of either rejected batch was applied, and the
+		// directory stays usable (no shard left locked).
+		if got := s.Len(); got != 0 {
+			t.Errorf("shards=%d: %d blocks tracked after rejected batches, want 0", shards, got)
+		}
+		s.Read(0x80, 0)
+		if _, ok := s.Lookup(0x80); !ok {
+			t.Errorf("shards=%d: directory unusable after recovered Apply panics", shards)
+		}
+	}
+}
+
+// TestShardedName: the name identifies shard count and inner organization.
+func TestShardedName(t *testing.T) {
+	s, err := BuildSharded(shardedSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Name(); got != "sharded-4(cuckoo)" {
+		t.Errorf("Name = %q", got)
+	}
+	if s.ShardCount() != 4 || s.NumCaches() != 16 {
+		t.Errorf("ShardCount/NumCaches = %d/%d", s.ShardCount(), s.NumCaches())
+	}
+}

@@ -36,7 +36,10 @@ func analyticExp() Experiment {
 				entries := int(occ * float64(sets*assoc))
 				var measured float64
 				for s := 0; s < samples; s++ {
-					d := directory.NewSparse(assoc, sets, 4)
+					d := directory.MustBuild(directory.Spec{
+						Org: directory.OrgSparse, NumCaches: 4,
+						Geometry: directory.Geometry{Ways: assoc, Sets: sets},
+					})
 					r := rng.New(o.Seed + uint64(s)*31 + uint64(entries))
 					var forced uint64
 					for i := 0; i < entries; i++ {

@@ -286,12 +286,15 @@ func elbowTable(o Options) *stats.Table {
 			return d.Stats().ForcedEvictions
 		}
 		return row{
-			sk: drive(directory.NewSkewed(ways, sets, 4)),
-			el: drive(directory.NewElbow(ways, sets, 4)),
-			ck: drive(directory.NewCuckoo(core.DirConfig{
-				Table:     core.Config{Ways: ways, SetsPerWay: sets},
-				NumCaches: 4,
+			sk: drive(directory.MustBuild(directory.Spec{
+				Org: directory.OrgSkewed, NumCaches: 4,
+				Geometry: directory.Geometry{Ways: ways, Sets: sets},
 			})),
+			el: drive(directory.MustBuild(directory.Spec{
+				Org: directory.OrgElbow, NumCaches: 4,
+				Geometry: directory.Geometry{Ways: ways, Sets: sets},
+			})),
+			ck: drive(directory.MustBuild(cuckooSpec(ways, sets).WithCaches(4))),
 		}
 	})
 	for i, f := range fills {

@@ -47,14 +47,9 @@ func formatsExp() Experiment {
 				ds       *directory.Stats
 			}
 			results := parallelMap(len(formats), func(i int) result {
-				f := formats[i]
-				factory := func(_, n int) directory.Directory {
-					return directory.NewFormattedCuckoo(core.Config{
-						Ways:       size.Ways,
-						SetsPerWay: size.Sets,
-					}, f, n)
-				}
-				sys := runSystem(cfg, prof, o, factory)
+				spec := cuckooSpec(size.Ways, size.Sets)
+				spec.Format = formats[i]
+				sys := runSystem(cfg, prof, o, cmpsim.SpecFactory(spec))
 				var res result
 				for _, d := range sys.Slices() {
 					fd := d.(*directory.FormattedCuckoo)

@@ -1,12 +1,13 @@
 package exp
 
-import "cuckoodir/internal/core"
+import "cuckoodir/internal/directory"
 
-// cuckooDirCfg builds a core directory config for protocol-level
-// experiments.
-func cuckooDirCfg(ways, sets, numCaches int) core.DirConfig {
-	return core.DirConfig{
-		Table:     core.Config{Ways: ways, SetsPerWay: sets},
-		NumCaches: numCaches,
+// cuckooSpec declares a Cuckoo slice of the given geometry with the
+// paper's default parameters; callers bind the cache count via a factory
+// or WithCaches.
+func cuckooSpec(ways, sets int) directory.Spec {
+	return directory.Spec{
+		Org:      directory.OrgCuckoo,
+		Geometry: directory.Geometry{Ways: ways, Sets: sets},
 	}
 }

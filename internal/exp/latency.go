@@ -40,12 +40,10 @@ func latencyExp() Experiment {
 				name    string
 				factory coherence.Factory
 			}{
-				{"ideal", func(_, n int) directory.Directory {
-					return directory.NewIdeal(n, 16384)
-				}},
-				{"cuckoo 3x8192 (1.5x)", func(_, n int) directory.Directory {
-					return directory.NewCuckoo(cuckooDirCfg(3, 8192, n))
-				}},
+				{"ideal", coherence.SpecFactory(directory.Spec{
+					Org: directory.OrgIdeal, Capacity: 16384,
+				})},
+				{"cuckoo 3x8192 (1.5x)", coherence.SpecFactory(cuckooSpec(3, 8192))},
 			}
 			systems := parallelMap(len(runs), func(i int) *coherence.System {
 				sys := coherence.New(cfg, prof, o.Seed+7, runs[i].factory)

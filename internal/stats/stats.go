@@ -131,11 +131,15 @@ func (h *Histogram) Reset() {
 	h.total, h.sum = 0, 0
 }
 
-// Merge adds all samples of other into h. The histograms must have the same
-// bucket count.
+// Merge adds all samples of other into h. When other covers a larger
+// range, h grows to match it (aggregating slices with different attempt
+// caps — ideal=1, cuckoo=32 — is routine); samples other clamped into its
+// last bucket stay at that value.
 func (h *Histogram) Merge(other *Histogram) {
-	if len(h.buckets) != len(other.buckets) {
-		panic("stats: merging histograms with different ranges")
+	if len(other.buckets) > len(h.buckets) {
+		grown := make([]uint64, len(other.buckets))
+		copy(grown, h.buckets)
+		h.buckets = grown
 	}
 	for i, b := range other.buckets {
 		h.buckets[i] += b

@@ -91,13 +91,27 @@ func TestHistogramMergeAndReset(t *testing.T) {
 	}
 }
 
-func TestHistogramMergeMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic merging mismatched histograms")
-		}
-	}()
-	NewHistogram(4).Merge(NewHistogram(8))
+func TestHistogramMergeMixedRanges(t *testing.T) {
+	// Merging a wider histogram grows the receiver; merging a narrower
+	// one lands its samples at their recorded values.
+	small, large := NewHistogram(1), NewHistogram(8)
+	small.Add(1)
+	large.Add(5)
+	small.Merge(large)
+	if small.Max() != 8 || small.Count() != 2 || small.Bucket(5) != 1 || small.Bucket(1) != 1 {
+		t.Errorf("after growing merge: max=%d count=%d b5=%d b1=%d",
+			small.Max(), small.Count(), small.Bucket(5), small.Bucket(1))
+	}
+	wide := NewHistogram(8)
+	narrow := NewHistogram(1)
+	narrow.Add(7) // clamps to 1
+	wide.Merge(narrow)
+	if wide.Bucket(1) != 1 || wide.Count() != 1 {
+		t.Errorf("after narrowing merge: b1=%d count=%d", wide.Bucket(1), wide.Count())
+	}
+	if mean := wide.Mean(); mean != 1 {
+		t.Errorf("clamped sample mean = %f, want 1", mean)
+	}
 }
 
 // Property: mean is always within [0, max] and Count equals samples added.
