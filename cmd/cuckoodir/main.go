@@ -13,17 +13,26 @@
 //
 //	-scale quick|full   measurement scale (default quick)
 //	-seed N             simulation seed (default 0)
+//	-dir a,b,c          sweep exactly the named organizations (experiments
+//	                    that sweep orgs: fig12, latency)
+//
+// EXPERIMENTS.md maps each experiment id to the paper artifact it
+// reproduces; README.md's "Trace replay & sweeps" section shows the
+// parallel `trace replay` pipeline (-dir/-shards/-workers/-batch/-home).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"cuckoodir/internal/cmpsim"
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/exp"
+	"cuckoodir/internal/replay"
 	"cuckoodir/internal/trace"
 	"cuckoodir/internal/workload"
 )
@@ -45,12 +54,15 @@ func run(args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	scaleFlag := fs.String("scale", "quick", "measurement scale: quick or full")
 	seedFlag := fs.Uint64("seed", 0, "simulation seed")
+	dirFlag := fs.String("dir", "", "comma-separated organization names to sweep instead of the paper lineup (see `orgs`)")
 
 	switch cmd {
 	case "list":
 		for _, e := range exp.All() {
 			fmt.Printf("%-8s  %s\n", e.ID, e.Title)
 		}
+		fmt.Println("\nEXPERIMENTS.md maps each id to the paper table/figure it reproduces,")
+		fmt.Println("the expected deltas, and quick-vs-full scale guidance.")
 		return nil
 	case "orgs":
 		return orgsCmd()
@@ -62,6 +74,9 @@ func run(args []string) error {
 		}
 		opts, err := parseOptions(*scaleFlag, *seedFlag)
 		if err != nil {
+			return err
+		}
+		if opts.Orgs, err = parseOrgList(*dirFlag); err != nil {
 			return err
 		}
 		ids := fs.Args()
@@ -95,6 +110,34 @@ func parseOptions(scale string, seed uint64) (exp.Options, error) {
 		return o, fmt.Errorf("unknown scale %q (want quick or full)", scale)
 	}
 	return o, nil
+}
+
+// parseOrgList validates a comma-separated `-dir` organization list
+// against the registry, so bad names fail with an error here instead of
+// panicking inside an experiment.
+func parseOrgList(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var orgs []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec, ok := directory.LookupSpec(name)
+		if !ok {
+			return nil, fmt.Errorf("-dir: unknown organization %q (see `cuckoodir orgs`)", name)
+		}
+		if err := spec.WithCaches(16).Validate(); err != nil {
+			return nil, fmt.Errorf("-dir %q: %w", name, err)
+		}
+		orgs = append(orgs, name)
+	}
+	if len(orgs) == 0 {
+		return nil, fmt.Errorf("-dir: empty organization list")
+	}
+	return orgs, nil
 }
 
 func runExperiments(ids []string, o exp.Options) error {
@@ -160,6 +203,10 @@ func traceCmd(args []string) error {
 	seed := fs.Uint64("seed", 0, "capture seed")
 	kind := fs.String("config", "shared", "replay configuration: shared or private")
 	dir := fs.String("dir", "", "directory organization to replay against (see `orgs`; default: the chosen cuckoo size)")
+	workers := fs.Int("workers", 0, "parallel replay worker goroutines (0 = GOMAXPROCS when the parallel path is selected by -shards/-batch/-home/a sharded -dir, else sequential replay)")
+	shards := fs.Int("shards", 0, "shard count for parallel replay (0 = from the -dir name, or the effective worker count rounded up to a power of two, minimum 2)")
+	batch := fs.Int("batch", 0, fmt.Sprintf("records per batch in parallel replay (0 = %d; setting it selects the parallel path)", replay.DefaultBatchSize))
+	homeFlag := fs.String("home", "", "shard home function for parallel replay: mix or interleave (default: from the -dir name, else mix)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -200,10 +247,6 @@ func traceCmd(args []string) error {
 			return fmt.Errorf("trace: unknown -config %q", *kind)
 		}
 		cfg := cmpsim.DefaultConfig(cfgKind)
-		prof, err := workload.ByName(*wl)
-		if err != nil {
-			return err
-		}
 		dirName := *dir
 		if dirName == "" {
 			dirName = "cuckoo-" + cmpsim.ChosenCuckooSize(cfgKind).String()
@@ -211,6 +254,13 @@ func traceCmd(args []string) error {
 		spec, ok := directory.LookupSpec(dirName)
 		if !ok {
 			return fmt.Errorf("trace: unknown -dir %q (see `cuckoodir orgs`)", dirName)
+		}
+		if *workers > 0 || *shards > 0 || *batch > 0 || *homeFlag != "" || spec.Shard.Count > 0 {
+			return replayParallel(rd, spec, *workers, *shards, *batch, *homeFlag)
+		}
+		prof, err := workload.ByName(*wl)
+		if err != nil {
+			return err
 		}
 		if err := spec.WithCaches(cfg.NumCaches()).Validate(); err != nil {
 			return fmt.Errorf("trace: -dir %q: %w", dirName, err)
@@ -229,17 +279,78 @@ func traceCmd(args []string) error {
 	}
 }
 
+// replayParallel is the batched multi-worker replay path of `trace
+// replay`: the trace drives a concurrency-safe ShardedDirectory through
+// internal/replay instead of the sequential functional simulator. It is
+// selected by any of -workers, -shards, -home, or a sharded -dir name.
+func replayParallel(rd *trace.Reader, spec directory.Spec, workers, shards, batch int, homeName string) error {
+	// Resolve the effective worker count first: the pipeline defaults
+	// -workers 0 to GOMAXPROCS, and the shard default must match what
+	// will actually run (a `-home` comparison on a 1-shard directory
+	// would be a no-op).
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if spec.Shard.Count == 0 {
+		if shards == 0 {
+			// At least 2 shards by default: a 1-shard directory makes the
+			// home function a no-op (pass -shards 1 to force it).
+			if shards = ceilPow2(workers); shards < 2 {
+				shards = 2
+			}
+		}
+		spec.Shard.Count = shards
+	} else if shards > 0 {
+		spec.Shard.Count = shards
+	}
+	if homeName != "" {
+		home, err := directory.ParseHome(homeName)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		spec.Shard.Home = home
+	}
+	// The directory tracks one cache per traced core.
+	d, err := directory.Build(spec.WithCaches(rd.Cores()))
+	if err != nil {
+		return fmt.Errorf("trace: -dir %s: %w", spec, err)
+	}
+	sd := d.(*directory.ShardedDirectory)
+	res, err := replay.ReplayTrace(sd, rd, replay.Options{Workers: workers, BatchSize: batch})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parallel replay against %s: %s\n", spec, res)
+	return nil
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  cuckoodir list                  show available experiments
+  cuckoodir list                  show available experiments (see EXPERIMENTS.md)
   cuckoodir orgs                  show registered directory organizations
   cuckoodir run [flags] <id>...   run selected experiments
   cuckoodir all [flags]           run the whole suite
   cuckoodir trace record -file F [-workload W] [-n N] [-seed S]
   cuckoodir trace replay -file F [-config shared|private] [-workload W] [-dir ORG]
+  cuckoodir trace replay -file F -dir ORG [-workers N] [-shards N] [-batch N] [-home mix|interleave]
+                                  parallel batched replay through a sharded
+                                  directory (selected by -workers/-shards/-batch/-home
+                                  or a sharded -dir name like "sharded-8(cuckoo-4x1024)")
 
 flags (run/all):
   -scale quick|full   measurement scale (default quick)
   -seed N             simulation seed (default 0)
+  -dir a,b,c          sweep exactly the named organizations (experiments
+                      that sweep orgs: fig12, latency); parametric and
+                      sharded registry names are accepted
 `)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"testing"
 
 	"cuckoodir/internal/exp"
@@ -50,5 +51,60 @@ func TestRunCommandValidation(t *testing.T) {
 func TestRunFastExperiment(t *testing.T) {
 	if err := run([]string{"run", "table1", "table2"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestParseOrgList(t *testing.T) {
+	orgs, err := parseOrgList("cuckoo-4x1024, skew-4x1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orgs) != 2 || orgs[0] != "cuckoo-4x1024" || orgs[1] != "skew-4x1024" {
+		t.Fatalf("orgs = %v", orgs)
+	}
+	orgs, err = parseOrgList("sharded-4(sparse-8x2048)")
+	if err != nil || len(orgs) != 1 {
+		t.Fatalf("sharded name: %v, %v", orgs, err)
+	}
+	if _, err := parseOrgList("nonsense-1x2"); err == nil {
+		t.Error("unknown org accepted")
+	}
+	if _, err := parseOrgList(","); err == nil {
+		t.Error("empty list accepted")
+	}
+	if orgs, err := parseOrgList(""); err != nil || orgs != nil {
+		t.Errorf("no flag: %v, %v", orgs, err)
+	}
+	if err := run([]string{"run", "-dir", "nonsense-1x2", "fig12"}); err == nil {
+		t.Error("run with unknown -dir org should error before running")
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}} {
+		if got := ceilPow2(c.in); got != c.want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestTraceRoundTripCLI drives record + both replay paths through the
+// command surface.
+func TestTraceRoundTripCLI(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "cli.trc")
+	if err := run([]string{"trace", "record", "-file", file, "-workload", "apache", "-n", "20000"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "replay", "-file", file, "-dir", "sharded-4(cuckoo-4x512)", "-workers", "2", "-batch", "128"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "replay", "-file", file, "-dir", "cuckoo-4x512", "-workers", "2", "-home", "interleave"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "replay", "-file", file, "-dir", "cuckoo-4x512"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "replay", "-file", file, "-dir", "cuckoo-4x512", "-home", "north"}); err == nil {
+		t.Error("bad -home accepted")
 	}
 }

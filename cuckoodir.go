@@ -14,10 +14,13 @@
 //     contribution — plus every competing organization (Sparse, Skewed,
 //     Elbow, Duplicate-Tag, Tagless, in-cache, ideal), all behind the
 //     same Directory interface.
-//   - The concurrent front-end: BuildSharded wraps any Spec in a
-//     ShardedDirectory, an address-interleaved, mutex-per-shard array of
-//     slices that is safe for concurrent use and offers a batched Apply
-//     path.
+//   - The concurrent front-end: BuildSharded (or a Spec with Shard.Count
+//     set, "sharded-8(cuckoo-4x512)" in the registry grammar) wraps any
+//     Spec in a ShardedDirectory, an address-interleaved, mutex-per-shard
+//     array of slices that is safe for concurrent use, offers a batched
+//     Apply path, and has a pluggable shard-home function. The parallel
+//     replay pipeline (ReplayTraceParallel, `cuckoodir trace replay
+//     -workers N`) measures its throughput from recorded traces.
 //   - The evaluation platform: a functional 16-core tiled-CMP simulator
 //     (NewSystem) with the paper's Shared-L2 and Private-L2
 //     configurations and Table 2's workload suite (Workloads), plus an
@@ -27,7 +30,9 @@
 //     figure of the paper's evaluation (Experiments lists them).
 //
 // See README.md for a quickstart, the organization table and a sharding
-// example.
+// example; DESIGN.md for the architecture tour and the invariants each
+// layer guarantees; and EXPERIMENTS.md for the experiment-to-paper
+// mapping.
 package cuckoodir
 
 import (
@@ -38,6 +43,7 @@ import (
 	"cuckoodir/internal/core"
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/exp"
+	"cuckoodir/internal/replay"
 	"cuckoodir/internal/sharer"
 	"cuckoodir/internal/stats"
 	"cuckoodir/internal/trace"
@@ -142,8 +148,30 @@ const (
 	AccessEvict = directory.AccessEvict
 )
 
+// ShardSpec is the sharding knob of a Spec: Spec.Shard.Count > 0 makes
+// Build return a *ShardedDirectory ("sharded-8(cuckoo-4x512)" in the
+// registry grammar).
+type ShardSpec = directory.ShardSpec
+
+// ShardHome selects the shard-homing function of a ShardedDirectory.
+type ShardHome = directory.Home
+
+// Shard home functions.
+const (
+	// HomeMix (the default) decorrelates shard choice from the low
+	// address bits through a mixing hash.
+	HomeMix = directory.HomeMix
+	// HomeInterleave homes on the low address bits — classic static
+	// interleaving, which aliases with set-index bits (see DESIGN.md).
+	HomeInterleave = directory.HomeInterleave
+)
+
+// ParseShardHome parses a home-function name ("mix", "interleave").
+func ParseShardHome(s string) (ShardHome, error) { return directory.ParseHome(s) }
+
 // BuildSharded builds a concurrency-safe directory of shardCount
-// address-interleaved slices, each one instance of the spec.
+// address-interleaved slices, each one instance of the spec (the spec's
+// Shard.Home selects the home function).
 func BuildSharded(s Spec, shardCount int) (*ShardedDirectory, error) {
 	return directory.BuildSharded(s, shardCount)
 }
@@ -443,6 +471,31 @@ func CaptureTrace(w io.Writer, prof Workload, cores int, seed uint64, n int) (ui
 // bit-identical to the generator-driven run the trace was captured from.
 func ReplayTrace(r *TraceReader, sys *System) (uint64, error) {
 	return trace.Replay(r, sys)
+}
+
+// ---- parallel replay pipeline ----
+
+// ReplayOptions parameterize the parallel replay pipeline (worker count,
+// batch size); the zero value is usable.
+type ReplayOptions = replay.Options
+
+// ReplayResult reports a parallel replay run: throughput, per-shard
+// occupancy and the merged directory statistics.
+type ReplayResult = replay.Result
+
+// ReplayTraceParallel replays a recorded trace through a sharded
+// directory with batched worker goroutines (ShardedDirectory.Apply) and
+// reports throughput — the scaled-up counterpart of ReplayTrace. See
+// internal/replay for ordering semantics.
+func ReplayTraceParallel(dir *ShardedDirectory, r *TraceReader, o ReplayOptions) (ReplayResult, error) {
+	return replay.ReplayTrace(dir, r, o)
+}
+
+// ReplayWorkloadParallel synthesizes n accesses of a workload (what
+// CaptureTrace would record) and replays them through the parallel
+// pipeline — the trace-free path for sweeps and benchmarks.
+func ReplayWorkloadParallel(dir *ShardedDirectory, prof Workload, cores int, seed uint64, n int, o ReplayOptions) (ReplayResult, error) {
+	return replay.ReplayWorkload(dir, prof, cores, seed, n, o)
 }
 
 // ---- experiments ----

@@ -1,15 +1,6 @@
-// Package directory defines the common interface of all coherence
-// directory organizations the paper evaluates (§3, §5.4) and implements
-// every competitor: the Sparse directory (Gupta et al.), the
-// skewed-associative directory (Seznec), the Duplicate-Tag directory
-// (Piranha), the Tagless directory (Zebchuk et al.), the inclusive
-// in-cache directory, and an ideal (unbounded, exact) reference. The
-// Cuckoo directory from internal/core is adapted to the same interface.
-//
-// All organizations track sharers exactly or as supersets using uint64
-// masks (at most 64 caches — the functional simulator's regime; compressed
-// per-entry formats are modelled by internal/sharer and costed by
-// internal/energy).
+// The Directory interface and its shared operation records; the package
+// documentation lives in doc.go.
+
 package directory
 
 import (

@@ -1,0 +1,38 @@
+package directory_test
+
+import (
+	"fmt"
+
+	"cuckoodir/internal/directory"
+)
+
+// The registry makes every organization string-addressable: registered
+// names and parametric "org-WxS" shapes resolve the same way.
+func ExampleBuildNamed() {
+	d, err := directory.BuildNamed("cuckoo-4x64", 8) // 4 ways x 64 sets, 8 tracked caches
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Name(), d.Capacity())
+	// Output: cuckoo 256
+}
+
+// The sharded form wraps any inner name in the concurrency-safe
+// front-end; "@interleave" selects low-bit shard homing instead of the
+// default mixing hash. The spec's String renders the grammar back.
+func ExampleParseSpecName() {
+	for _, name := range []string{
+		"sparse-8x2048",
+		"skew-4x1024", // alias of skewed-4x1024
+		"sharded-8(cuckoo-4x512)",
+		"sharded-4@interleave(sparse-8x2048)",
+	} {
+		spec, ok := directory.ParseSpecName(name)
+		fmt.Println(ok, spec.Org, spec.Shard.Count, spec)
+	}
+	// Output:
+	// true sparse 0 sparse-8x2048
+	// true skewed 0 skewed-4x1024
+	// true cuckoo 8 sharded-8(cuckoo-4x512)
+	// true sparse 4 sharded-4@interleave(sparse-8x2048)
+}

@@ -10,8 +10,10 @@
 //     init (Names lists them), plus anything callers Register;
 //   - parametric names — "org-WAYSxSETS" shapes parsed on demand
 //     ("cuckoo-4x512", "sparse-8x2048", "dup-tag-16x1024",
-//     "tagless-512x32x2", "in-cache-16384", "ideal-2048"), so any
-//     geometry is addressable without prior registration.
+//     "tagless-512x32x2", "in-cache-16384", "ideal-2048",
+//     "sharded-8(cuckoo-4x512)"), so any geometry is addressable without
+//     prior registration. The full grammar is documented in doc.go.
+
 package directory
 
 import (
@@ -103,10 +105,19 @@ func BuildNamed(name string, numCaches int) (Directory, error) {
 //	cuckoo-4x512  sparse-8x2048  skewed-4x1024  elbow-4x1024
 //	dup-tag-16x1024 (assoc x sets)  tagless-512x32x2 (sets x bits x k)
 //	in-cache-16384  ideal  ideal-2048
+//	sharded-8(cuckoo-4x512)  sharded-8@interleave(sparse-8x2048)
+//
+// "skew-" and "dup-" are accepted as aliases of "skewed-" and
+// "dup-tag-". The sharded form wraps any registered or parametric inner
+// name (nesting is rejected); "@mix" and "@interleave" select the home
+// function (see Home), defaulting to the mixing hash.
 //
 // The boolean is false when the name matches no organization; geometry
 // errors surface later, from Build.
 func ParseSpecName(name string) (Spec, bool) {
+	if rest, ok := strings.CutPrefix(name, "sharded-"); ok {
+		return parseShardedName(rest)
+	}
 	for _, org := range Orgs() {
 		prefix := string(org) + "-"
 		switch {
@@ -119,7 +130,49 @@ func ParseSpecName(name string) (Spec, bool) {
 			return parseSpecParams(org, strings.TrimPrefix(name, prefix))
 		}
 	}
+	for alias, org := range orgAliases {
+		if strings.HasPrefix(name, alias+"-") {
+			return parseSpecParams(org, strings.TrimPrefix(name, alias+"-"))
+		}
+	}
 	return Spec{}, false
+}
+
+// orgAliases maps accepted shorthand prefixes to their organization.
+var orgAliases = map[string]Org{
+	"skew": OrgSkewed,
+	"dup":  OrgDuplicateTag,
+}
+
+// parseShardedName parses the "N(inner)" / "N@home(inner)" suffix of a
+// "sharded-" name. The inner name resolves through LookupSpec, so both
+// registered and parametric names shard; nested sharding is rejected.
+func parseShardedName(rest string) (Spec, bool) {
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return Spec{}, false
+	}
+	head, innerName := rest[:open], rest[open+1:len(rest)-1]
+	homeName := ""
+	if at := strings.IndexByte(head, '@'); at >= 0 {
+		head, homeName = head[:at], head[at+1:]
+	}
+	count, err := strconv.Atoi(head)
+	if err != nil || count <= 0 {
+		return Spec{}, false
+	}
+	home := HomeMix
+	if homeName != "" {
+		if home, err = ParseHome(homeName); err != nil {
+			return Spec{}, false
+		}
+	}
+	inner, ok := LookupSpec(innerName)
+	if !ok || inner.Shard.Count > 0 {
+		return Spec{}, false
+	}
+	inner.Shard = ShardSpec{Count: count, Home: home}
+	return inner, true
 }
 
 // parseSpecParams parses the per-organization parameter suffix.

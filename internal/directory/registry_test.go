@@ -136,7 +136,14 @@ func TestSpecStringRoundTrips(t *testing.T) {
 func TestRegisterErrors(t *testing.T) {
 	// The name is org-prefixed because the registry is process-global:
 	// TestRegisteredNamesBuild iterates Names() and asserts every entry's
-	// prefix matches its organization.
+	// prefix matches its organization. Registrations are removed on
+	// cleanup so the package stays idempotent under `go test -count=N`.
+	t.Cleanup(func() {
+		registry.Lock()
+		delete(registry.specs, "cuckoo-test-register-ok")
+		delete(registry.specs, "cuckoo-test-register-bound")
+		registry.Unlock()
+	})
 	good := Spec{Org: OrgCuckoo, Geometry: Geometry{Ways: 4, Sets: 64}}
 	if err := Register("cuckoo-test-register-ok", good); err != nil {
 		t.Fatalf("Register: %v", err)
@@ -242,5 +249,80 @@ func TestSpecValidate(t *testing.T) {
 		if _, err := Build(s); err == nil {
 			t.Errorf("Build(%+v) = nil error, want error", s)
 		}
+	}
+}
+
+// TestShardedNames: the sharded-N(...) grammar resolves through the
+// registry, round-trips through Spec.String, and builds a
+// ShardedDirectory with the named shard count and home function.
+func TestShardedNames(t *testing.T) {
+	cases := []struct {
+		name  string
+		count int
+		home  Home
+		org   Org
+	}{
+		{"sharded-8(cuckoo-4x512)", 8, HomeMix, OrgCuckoo},
+		{"sharded-2@mix(ideal)", 2, HomeMix, OrgIdeal},
+		{"sharded-4@interleave(sparse-8x2048)", 4, HomeInterleave, OrgSparse},
+		{"sharded-16(tagless-1024x32x2)", 16, HomeMix, OrgTagless},
+		{"sharded-2(skew-4x1024)", 2, HomeMix, OrgSkewed},
+	}
+	for _, c := range cases {
+		spec, ok := LookupSpec(c.name)
+		if !ok {
+			t.Errorf("%s did not resolve", c.name)
+			continue
+		}
+		if spec.Shard.Count != c.count || spec.Shard.Home != c.home || spec.Org != c.org {
+			t.Errorf("%s: parsed %+v", c.name, spec.Shard)
+		}
+		d, err := BuildNamed(c.name, 16)
+		if err != nil {
+			t.Errorf("%s: build: %v", c.name, err)
+			continue
+		}
+		sd, ok := d.(*ShardedDirectory)
+		if !ok {
+			t.Errorf("%s: built %T, want *ShardedDirectory", c.name, d)
+			continue
+		}
+		if sd.ShardCount() != c.count || sd.Home() != c.home {
+			t.Errorf("%s: built %d shards home %s", c.name, sd.ShardCount(), sd.Home())
+		}
+	}
+}
+
+// TestShardedNameRejects: malformed sharded names do not resolve, and
+// invalid shard counts fail validation rather than building.
+func TestShardedNameRejects(t *testing.T) {
+	for _, name := range []string{
+		"sharded-(cuckoo-4x512)",
+		"sharded-8",
+		"sharded-8()",
+		"sharded-8(nonsense-1x2)",
+		"sharded-8@north(cuckoo-4x512)",
+		"sharded-0(cuckoo-4x512)",
+		"sharded-8(sharded-2(cuckoo-4x512))", // no nesting
+	} {
+		if _, ok := ParseSpecName(name); ok {
+			t.Errorf("%s resolved, want rejection", name)
+		}
+	}
+	// Non-power-of-two counts parse but fail validation at build time.
+	if _, err := BuildNamed("sharded-3(cuckoo-4x512)", 16); err == nil {
+		t.Error("sharded-3 built, want a power-of-two error")
+	}
+}
+
+// TestOrgAliases: skew- and dup- resolve to their full organizations.
+func TestOrgAliases(t *testing.T) {
+	spec, ok := ParseSpecName("skew-4x1024")
+	if !ok || spec.Org != OrgSkewed || spec.Geometry != (Geometry{Ways: 4, Sets: 1024}) {
+		t.Fatalf("skew-4x1024: ok=%v spec=%v", ok, spec)
+	}
+	spec, ok = ParseSpecName("dup-16x1024")
+	if !ok || spec.Org != OrgDuplicateTag {
+		t.Fatalf("dup-16x1024: ok=%v spec=%v", ok, spec)
 	}
 }

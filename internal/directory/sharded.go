@@ -42,6 +42,56 @@ type Access struct {
 	Cache int
 }
 
+// Home selects the shard-homing function of a ShardedDirectory — how a
+// block address chooses its shard. The choice models directory placement
+// policies (the opaque-distributed-directory study of Kommrusch et al.):
+// homing interacts with each organization's own set indexing, so the same
+// aggregate capacity can behave very differently under different home
+// functions.
+type Home uint8
+
+// Home functions.
+const (
+	// HomeMix (the default) multiplies the address by a 64-bit mixing
+	// constant and takes high product bits, decorrelating shard choice
+	// from the low address bits the slices index their sets with.
+	HomeMix Home = iota
+	// HomeInterleave takes the low address bits directly — the classic
+	// static block interleaving of the paper's Figure 2 (and of the
+	// simulators' home-slice selection). Sparse, Tagless and
+	// Duplicate-Tag slices index their sets with those same bits, so
+	// under HomeInterleave each shard reaches only 1/shards of its sets
+	// and aggregate capacity collapses to a single slice's worth — the
+	// aliasing pitfall DESIGN.md describes, kept addressable exactly so
+	// experiments can measure it.
+	HomeInterleave
+)
+
+// String names the home function ("mix", "interleave").
+func (h Home) String() string {
+	switch h {
+	case HomeMix:
+		return "mix"
+	case HomeInterleave:
+		return "interleave"
+	default:
+		return fmt.Sprintf("Home(%d)", uint8(h))
+	}
+}
+
+// ParseHome parses a home-function name as it appears in flags and
+// sharded registry names ("mix", "interleave").
+func ParseHome(s string) (Home, error) {
+	switch s {
+	case "mix":
+		return HomeMix, nil
+	case "interleave":
+		return HomeInterleave, nil
+	default:
+		return 0, fmt.Errorf("directory: unknown home function %q (want mix or interleave)", s)
+	}
+}
+
 // ShardedDirectory is an address-interleaved array of per-shard
 // mutex-guarded directory slices behind the plain Directory interface —
 // the concurrency-safe front-end of this package. A block address homes
@@ -57,6 +107,7 @@ type Access struct {
 type ShardedDirectory struct {
 	shards    []*dirShard
 	mask      uint64
+	homeKind  Home
 	numCaches int
 	name      string
 }
@@ -70,13 +121,21 @@ type dirShard struct {
 
 // NewSharded builds a concurrency-safe directory of shardCount
 // address-interleaved slices, each produced by build (called with the
-// shard index). shardCount must be a power of two; the slices must agree
-// on NumCaches.
+// shard index), homed through the default mixing hash. shardCount must be
+// a power of two; the slices must agree on NumCaches.
 func NewSharded(shardCount int, build func(shard int) Directory) (*ShardedDirectory, error) {
+	return NewShardedHome(shardCount, HomeMix, build)
+}
+
+// NewShardedHome is NewSharded with an explicit home function.
+func NewShardedHome(shardCount int, home Home, build func(shard int) Directory) (*ShardedDirectory, error) {
 	if shardCount <= 0 || shardCount&(shardCount-1) != 0 {
 		return nil, fmt.Errorf("directory: NewSharded: shardCount = %d, need a positive power of two", shardCount)
 	}
-	s := &ShardedDirectory{mask: uint64(shardCount - 1)}
+	if home > HomeInterleave {
+		return nil, fmt.Errorf("directory: NewSharded: unknown home function %d", home)
+	}
+	s := &ShardedDirectory{mask: uint64(shardCount - 1), homeKind: home}
 	for i := 0; i < shardCount; i++ {
 		d := build(i)
 		if d == nil {
@@ -84,7 +143,7 @@ func NewSharded(shardCount int, build func(shard int) Directory) (*ShardedDirect
 		}
 		if i == 0 {
 			s.numCaches = d.NumCaches()
-			s.name = fmt.Sprintf("sharded-%d(%s)", shardCount, d.Name())
+			s.name = shardedName(shardCount, home, d.Name())
 		} else if d.NumCaches() != s.numCaches {
 			return nil, fmt.Errorf("directory: NewSharded: shard %d tracks %d caches, shard 0 tracks %d",
 				i, d.NumCaches(), s.numCaches)
@@ -94,25 +153,57 @@ func NewSharded(shardCount int, build func(shard int) Directory) (*ShardedDirect
 	return s, nil
 }
 
+// shardedName renders the registry-name form of a sharded directory:
+// "sharded-8(cuckoo-4x512)", or "sharded-8@interleave(...)" for a
+// non-default home function. ParseSpecName inverts it.
+func shardedName(shards int, home Home, inner string) string {
+	if home == HomeMix {
+		return fmt.Sprintf("sharded-%d(%s)", shards, inner)
+	}
+	return fmt.Sprintf("sharded-%d@%s(%s)", shards, home, inner)
+}
+
 // BuildSharded builds a ShardedDirectory whose every shard is one slice
 // of the given spec (total capacity = shardCount x the spec's capacity).
+// The spec's own Shard.Count, if any, is replaced by shardCount; its
+// Shard.Home is kept.
 func BuildSharded(spec Spec, shardCount int) (*ShardedDirectory, error) {
-	if err := spec.Validate(); err != nil {
+	if shardCount <= 0 {
+		return nil, fmt.Errorf("directory: BuildSharded: shardCount = %d, need a positive power of two", shardCount)
+	}
+	spec.Shard.Count = shardCount
+	d, err := Build(spec)
+	if err != nil {
 		return nil, err
 	}
-	return NewSharded(shardCount, func(int) Directory { return MustBuild(spec) })
+	return d.(*ShardedDirectory), nil
 }
 
 // ShardCount returns the number of shards.
 func (s *ShardedDirectory) ShardCount() int { return len(s.shards) }
 
-// home returns the shard index of addr. The address is mixed before the
-// shard bits are taken: Sparse, Tagless and Duplicate-Tag slices index
-// their sets with the raw low address bits, so consuming those same bits
-// for shard selection would leave each shard able to reach only
-// 1/shardCount of its sets, silently collapsing aggregate capacity to a
-// single slice's worth.
+// Home returns the home function shard selection uses.
+func (s *ShardedDirectory) Home() Home { return s.homeKind }
+
+// ShardOf returns the shard index addr homes onto. Batching front-ends
+// (internal/replay) use it to partition work shard-affinely: a batch
+// whose accesses all share one home shard takes Apply's inline
+// single-lock fast path, so parallelism can come from concurrent
+// callers instead of Apply's internal fan-out.
+func (s *ShardedDirectory) ShardOf(addr uint64) int { return s.home(addr) }
+
+// home returns the shard index of addr. Under the default HomeMix the
+// address is mixed before the shard bits are taken: Sparse, Tagless and
+// Duplicate-Tag slices index their sets with the raw low address bits, so
+// consuming those same bits for shard selection would leave each shard
+// able to reach only 1/shardCount of its sets, silently collapsing
+// aggregate capacity to a single slice's worth. HomeInterleave consumes
+// exactly those bits, deliberately, to model (and measure) classic static
+// interleaving.
 func (s *ShardedDirectory) home(addr uint64) int {
+	if s.homeKind == HomeInterleave {
+		return int(addr & s.mask)
+	}
 	return int((addr * 0x9e3779b97f4a7c15 >> 32) & s.mask)
 }
 
@@ -229,6 +320,36 @@ func (s *ShardedDirectory) Apply(accesses []Access) []Op {
 	return ops
 }
 
+// ApplyShard executes a batch whose accesses ALL home onto shard h —
+// the zero-overhead variant of Apply for shard-affine batching
+// front-ends (internal/replay): one lock acquisition, no grouping pass,
+// and no Op recording (callers that need the Ops use Apply). Like
+// Apply, the whole batch is validated up front on the caller's stack —
+// unknown kinds, out-of-range caches and accesses homing onto a
+// different shard panic before anything is applied.
+func (s *ShardedDirectory) ApplyShard(h int, accesses []Access) {
+	if h < 0 || h >= len(s.shards) {
+		panic(fmt.Sprintf("directory: ApplyShard: shard %d out of range (have %d)", h, len(s.shards)))
+	}
+	for _, a := range accesses {
+		if a.Kind > AccessEvict {
+			panic(fmt.Sprintf("directory: ApplyShard: unknown access kind %d", a.Kind))
+		}
+		if a.Cache < 0 || a.Cache >= s.numCaches {
+			panic(fmt.Sprintf("directory: ApplyShard: cache %d out of range (tracking %d)", a.Cache, s.numCaches))
+		}
+		if s.home(a.Addr) != h {
+			panic(fmt.Sprintf("directory: ApplyShard: address %#x homes onto shard %d, not %d", a.Addr, s.home(a.Addr), h))
+		}
+	}
+	sh := s.shards[h]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, a := range accesses {
+		applyOne(sh.dir, a)
+	}
+}
+
 // applyOne dispatches one access on an already-locked slice.
 func applyOne(d Directory, a Access) Op {
 	switch a.Kind {
@@ -281,6 +402,20 @@ func (s *ShardedDirectory) Capacity() int {
 		total += c
 	}
 	return total
+}
+
+// ShardLens returns each shard's tracked-block count, in shard index
+// order — the per-shard occupancy view the replay pipeline reports.
+// Shards are locked one at a time, so concurrent mutators may move
+// blocks between the individual reads (same caveat as Stats).
+func (s *ShardedDirectory) ShardLens() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.dir.Len()
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Len implements Directory (sum over shards).

@@ -328,3 +328,143 @@ func TestShardedName(t *testing.T) {
 		t.Errorf("ShardCount/NumCaches = %d/%d", s.ShardCount(), s.NumCaches())
 	}
 }
+
+// TestHomeInterleave: low-bit homing sends address i to shard i&mask,
+// while the default mixing home decorrelates from the low bits.
+func TestHomeInterleave(t *testing.T) {
+	spec := shardedSpec()
+	spec.Shard = ShardSpec{Count: 4, Home: HomeInterleave}
+	d, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := d.(*ShardedDirectory)
+	if sd.Home() != HomeInterleave {
+		t.Fatalf("home = %s", sd.Home())
+	}
+	// Fill addresses 0..3: each must land on its own shard under
+	// interleaved homing.
+	for a := uint64(0); a < 4; a++ {
+		sd.Read(a, 0)
+	}
+	lens := sd.ShardLens()
+	for i, n := range lens {
+		if n != 1 {
+			t.Fatalf("interleave: shard %d holds %d blocks (lens %v)", i, n, lens)
+		}
+	}
+	if got := sd.Name(); got != "sharded-4@interleave(cuckoo)" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+// TestShardLensSum: ShardLens agrees with Len.
+func TestShardLensSum(t *testing.T) {
+	d, err := BuildSharded(shardedSpec(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 2000; i++ {
+		d.Read(r.Uint64()%4096, int(r.Uint64()%16))
+	}
+	sum := 0
+	for _, n := range d.ShardLens() {
+		sum += n
+	}
+	if sum != d.Len() {
+		t.Fatalf("ShardLens sum %d != Len %d", sum, d.Len())
+	}
+}
+
+// TestHomeParse: ParseHome round-trips the String forms.
+func TestHomeParse(t *testing.T) {
+	for _, h := range []Home{HomeMix, HomeInterleave} {
+		got, err := ParseHome(h.String())
+		if err != nil || got != h {
+			t.Errorf("ParseHome(%q) = %v, %v", h.String(), got, err)
+		}
+	}
+	if _, err := ParseHome("north"); err == nil {
+		t.Error("ParseHome accepted nonsense")
+	}
+}
+
+// TestBuildShardedBadCounts: non-positive and non-power-of-two shard
+// counts error instead of panicking.
+func TestBuildShardedBadCounts(t *testing.T) {
+	for _, n := range []int{0, -1, 3} {
+		if _, err := BuildSharded(shardedSpec(), n); err == nil {
+			t.Errorf("BuildSharded(spec, %d) succeeded", n)
+		}
+	}
+}
+
+// TestApplyShardMatchesApply: a shard-affine batch produces the same
+// directory contents through ApplyShard as through Apply, and
+// wrong-shard or malformed accesses panic before anything applies.
+func TestApplyShardMatchesApply(t *testing.T) {
+	mk := func() *ShardedDirectory {
+		s, err := BuildSharded(shardedSpec(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	r := rng.New(11)
+	groups := make([][]Access, 4)
+	var all []Access
+	for i := 0; i < 4000; i++ {
+		acc := Access{Kind: AccessKind(r.Uint64() % 2), Addr: r.Uint64() % 8192, Cache: int(r.Uint64() % 16)}
+		h := a.ShardOf(acc.Addr)
+		groups[h] = append(groups[h], acc)
+		all = append(all, acc)
+	}
+	for h, g := range groups {
+		a.ApplyShard(h, g)
+	}
+	b.Apply(all)
+	if a.Len() != b.Len() {
+		t.Fatalf("ApplyShard len %d != Apply len %d", a.Len(), b.Len())
+	}
+	b.ForEach(func(addr, sharers uint64) bool {
+		got, ok := a.Lookup(addr)
+		if !ok || got != sharers {
+			t.Fatalf("addr %#x: ApplyShard %#x (ok=%v) != Apply %#x", addr, got, ok, sharers)
+		}
+		return true
+	})
+
+	for name, fn := range map[string]func(){
+		"wrong shard": func() {
+			addr := uint64(1)
+			wrong := (a.ShardOf(addr) + 1) % a.ShardCount()
+			a.ApplyShard(wrong, []Access{{Kind: AccessRead, Addr: addr, Cache: 0}})
+		},
+		"bad kind": func() {
+			addr := uint64(1)
+			a.ApplyShard(a.ShardOf(addr), []Access{{Kind: 99, Addr: addr, Cache: 0}})
+		},
+		"bad cache": func() {
+			addr := uint64(1)
+			a.ApplyShard(a.ShardOf(addr), []Access{{Kind: AccessRead, Addr: addr, Cache: 64}})
+		},
+		"bad shard index": func() {
+			a.ApplyShard(99, nil)
+		},
+	} {
+		before := a.Len()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+		if a.Len() != before {
+			t.Errorf("%s: batch partially applied", name)
+		}
+	}
+}

@@ -88,6 +88,18 @@ type TaglessParams struct {
 	Hashes int
 }
 
+// ShardSpec wraps a Spec's organization in a concurrency-safe
+// ShardedDirectory. The rest of the spec describes ONE shard, so total
+// capacity is Count x the single-slice capacity.
+type ShardSpec struct {
+	// Count is the shard count: 0 leaves the spec unsharded (a bare,
+	// non-concurrency-safe slice); > 0 must be a power of two and makes
+	// Build return a *ShardedDirectory.
+	Count int
+	// Home selects the shard-homing function (default HomeMix).
+	Home Home
+}
+
 // Spec declaratively describes one directory slice: which organization,
 // how many tracked caches, and its geometry and per-organization
 // parameters. It replaces the positional New* constructors as the single
@@ -108,6 +120,10 @@ type Spec struct {
 	// Format, when set (Format.New != nil), selects a compressed
 	// sharer-set representation. Only OrgCuckoo supports formats (§6).
 	Format sharer.Format
+	// Shard, when Shard.Count > 0, wraps the organization in a
+	// concurrency-safe ShardedDirectory of Count copies (registry form
+	// "sharded-8(cuckoo-4x512)").
+	Shard ShardSpec
 	// Capacity is the entry-slot capacity for OrgInCache (the slice's L2
 	// frame count, required) and the nominal occupancy-reporting capacity
 	// for OrgIdeal (0 to disable).
@@ -121,9 +137,15 @@ func (s Spec) WithCaches(n int) Spec {
 }
 
 // String renders the spec in registry-name form ("cuckoo-4x512",
-// "tagless-512x32x2", "ideal"); ParseSpecName inverts it for specs with
-// default parameters. A sharer format is appended for display ("+coarse").
+// "tagless-512x32x2", "ideal", "sharded-8(cuckoo-4x512)"); ParseSpecName
+// inverts it for specs with default parameters. A sharer format is
+// appended for display ("+coarse").
 func (s Spec) String() string {
+	if s.Shard.Count > 0 {
+		inner := s
+		inner.Shard = ShardSpec{}
+		return shardedName(s.Shard.Count, s.Shard.Home, inner.String())
+	}
 	var name string
 	switch s.Org {
 	case OrgCuckoo, OrgSparse, OrgSkewed, OrgElbow, OrgDuplicateTag:
@@ -160,6 +182,13 @@ func (s Spec) validate(allowUnboundCaches bool) error {
 	}
 	if s.Format.New != nil && s.Org != OrgCuckoo {
 		return fmt.Errorf("directory: spec %s: sharer format %q is only supported by the cuckoo organization", s.Org, s.Format.Name)
+	}
+	if c := s.Shard.Count; c < 0 || c&(c-1) != 0 || c > maxShards {
+		return fmt.Errorf("directory: spec %s: Shard.Count = %d, need a power of two <= %d (or 0 for an unsharded slice)",
+			s.Org, c, maxShards)
+	}
+	if s.Shard.Home > HomeInterleave {
+		return fmt.Errorf("directory: spec %s: unknown Shard.Home %d", s.Org, s.Shard.Home)
 	}
 	switch s.Org {
 	case OrgCuckoo:
@@ -250,6 +279,10 @@ func (s Spec) validate(allowUnboundCaches bool) error {
 // overflow int.
 const maxEntries = 1 << 32
 
+// maxShards bounds ShardSpec.Count — generous next to any machine's
+// parallelism, and small enough that Count x maxEntries cannot overflow.
+const maxShards = 1 << 16
+
 // checkSets enforces the shared power-of-two set-count constraint.
 func checkSets(org Org, sets int) error {
 	if sets <= 0 || sets&(sets-1) != 0 || uint64(sets) > maxEntries {
@@ -308,6 +341,12 @@ func (s Spec) hashFamily() hashfn.Family {
 func Build(s Spec) (Directory, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if s.Shard.Count > 0 {
+		inner := s
+		inner.Shard = ShardSpec{}
+		return NewShardedHome(s.Shard.Count, s.Shard.Home,
+			func(int) Directory { return MustBuild(inner) })
 	}
 	switch s.Org {
 	case OrgCuckoo:

@@ -41,6 +41,13 @@ type Options struct {
 	Scale Scale
 	// Seed makes runs reproducible; the default 0 is a valid seed.
 	Seed uint64
+	// Orgs, when non-empty, overrides the directory-organization lineup
+	// of experiments that sweep organizations (fig12 and latency; others
+	// ignore it). Each entry is a registry name — registered, parametric
+	// "org-WxS", or "sharded-N(...)" — resolved through
+	// internal/directory; the swept lineup is exactly this list, in
+	// order. The CLI populates it from `run -dir a,b,c`.
+	Orgs []string
 }
 
 // Experiment is one reproducible artifact of the paper.

@@ -408,3 +408,42 @@ func parseFloat(t *testing.T, s string) float64 {
 	}
 	return v
 }
+
+// TestOrgsOverride: Options.Orgs replaces fig12's lineup with exactly
+// the named organizations, in order, headers included.
+func TestOrgsOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, err := ByID("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orgs := []string{"cuckoo-4x1024", "skew-4x1024"}
+	ts := e.Run(Options{Scale: Quick, Orgs: orgs})
+	if len(ts) != 2 {
+		t.Fatalf("fig12 tables = %d", len(ts))
+	}
+	for _, tb := range ts {
+		h := tb.Headers()
+		if len(h) != 1+len(orgs) {
+			t.Fatalf("%s: headers %v, want Workload + %v", tb.Title, h, orgs)
+		}
+		for i, name := range orgs {
+			if h[1+i] != name {
+				t.Errorf("%s: header[%d] = %q, want %q", tb.Title, 1+i, h[1+i], name)
+			}
+		}
+	}
+}
+
+// TestOrgsOverridePanicsOnUnknown: an unresolvable name is a programming
+// error at the harness level (the CLI validates first).
+func TestOrgsOverridePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown org name did not panic")
+		}
+	}()
+	orgOverrides(Options{Orgs: []string{"nonsense-1x2"}}, 16)
+}

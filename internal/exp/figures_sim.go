@@ -191,21 +191,35 @@ func fig12Exp() Experiment {
 			var out []*stats.Table
 			for _, kind := range []cmpsim.Kind{cmpsim.SharedL2, cmpsim.PrivateL2} {
 				cfg := cmpsim.DefaultConfig(kind)
-				cuckooName := "Cuckoo 1x"
-				if kind == cmpsim.PrivateL2 {
-					cuckooName = "Cuckoo 1.5x"
-				}
-				orgs := []struct {
+				type orgRun struct {
 					name    string
 					factory cmpsim.DirectoryFactory
-				}{
-					{"Sparse 2x", cmpsim.SparseFactory(cfg, 8, 2)},
-					{"Sparse 8x", cmpsim.SparseFactory(cfg, 8, 8)},
-					{"Skewed 2x", cmpsim.SkewedFactory(cfg, 4, 2)},
-					{cuckooName, cmpsim.CuckooFactory(cmpsim.ChosenCuckooSize(kind), nil)},
+				}
+				var orgs []orgRun
+				if over := orgOverrides(o, cfg.NumCaches()); over != nil {
+					// Registry-driven sweep: the lineup is exactly the
+					// organizations `run -dir` named, in order.
+					for _, ns := range over {
+						orgs = append(orgs, orgRun{ns.name, cmpsim.SpecFactory(ns.spec)})
+					}
+				} else {
+					cuckooName := "Cuckoo 1x"
+					if kind == cmpsim.PrivateL2 {
+						cuckooName = "Cuckoo 1.5x"
+					}
+					orgs = []orgRun{
+						{"Sparse 2x", cmpsim.SparseFactory(cfg, 8, 2)},
+						{"Sparse 8x", cmpsim.SparseFactory(cfg, 8, 8)},
+						{"Skewed 2x", cmpsim.SkewedFactory(cfg, 4, 2)},
+						{cuckooName, cmpsim.CuckooFactory(cmpsim.ChosenCuckooSize(kind), nil)},
+					}
+				}
+				headers := []string{"Workload"}
+				for _, org := range orgs {
+					headers = append(headers, org.name)
 				}
 				t := stats.NewTable(fmt.Sprintf("Figure 12 (%s): invalidation rate (%% of directory insertions)", kind),
-					"Workload", orgs[0].name, orgs[1].name, orgs[2].name, orgs[3].name)
+					headers...)
 				profs := suiteProfiles(o.Scale)
 				rates := parallelMap(len(profs)*len(orgs), func(i int) float64 {
 					prof, org := profs[i/len(orgs)], orgs[i%len(orgs)]

@@ -1,6 +1,10 @@
 package exp
 
-import "cuckoodir/internal/directory"
+import (
+	"fmt"
+
+	"cuckoodir/internal/directory"
+)
 
 // cuckooSpec declares a Cuckoo slice of the given geometry with the
 // paper's default parameters; callers bind the cache count via a factory
@@ -10,4 +14,35 @@ func cuckooSpec(ways, sets int) directory.Spec {
 		Org:      directory.OrgCuckoo,
 		Geometry: directory.Geometry{Ways: ways, Sets: sets},
 	}
+}
+
+// namedSpec is one entry of an organization lineup: the registry name
+// (used as the row/column label) and its resolved spec.
+type namedSpec struct {
+	name string
+	spec directory.Spec
+}
+
+// orgOverrides resolves Options.Orgs into an organization lineup bound
+// to numCaches tracked caches, or nil when no override was requested —
+// the hook that lets `cuckoodir run -dir a,b,c` sweep arbitrary
+// registered organizations through an experiment without code changes.
+// Experiments have no error path, so unresolvable names panic (the CLI
+// validates names before running).
+func orgOverrides(o Options, numCaches int) []namedSpec {
+	if len(o.Orgs) == 0 {
+		return nil
+	}
+	out := make([]namedSpec, 0, len(o.Orgs))
+	for _, name := range o.Orgs {
+		spec, ok := directory.LookupSpec(name)
+		if !ok {
+			panic(fmt.Sprintf("exp: unknown organization %q in Options.Orgs", name))
+		}
+		if err := spec.WithCaches(numCaches).Validate(); err != nil {
+			panic(fmt.Sprintf("exp: Options.Orgs %q: %v", name, err))
+		}
+		out = append(out, namedSpec{name: name, spec: spec})
+	}
+	return out
 }

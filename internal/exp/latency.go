@@ -36,14 +36,22 @@ func latencyExp() Experiment {
 			cfg := coherence.DefaultConfig()
 			// The protocol caches are 1024x16 (1 MB); size the slices as
 			// §5.2 selects for Private-L2 (1.5x = 3x8192 at 16 cores).
-			runs := []struct {
+			type protoRun struct {
 				name    string
 				factory coherence.Factory
-			}{
-				{"ideal", coherence.SpecFactory(directory.Spec{
-					Org: directory.OrgIdeal, Capacity: 16384,
-				})},
-				{"cuckoo 3x8192 (1.5x)", coherence.SpecFactory(cuckooSpec(3, 8192))},
+			}
+			var runs []protoRun
+			if over := orgOverrides(o, cfg.Cores); over != nil {
+				for _, ns := range over {
+					runs = append(runs, protoRun{ns.name, coherence.SpecFactory(ns.spec)})
+				}
+			} else {
+				runs = []protoRun{
+					{"ideal", coherence.SpecFactory(directory.Spec{
+						Org: directory.OrgIdeal, Capacity: 16384,
+					})},
+					{"cuckoo 3x8192 (1.5x)", coherence.SpecFactory(cuckooSpec(3, 8192))},
+				}
 			}
 			systems := parallelMap(len(runs), func(i int) *coherence.System {
 				sys := coherence.New(cfg, prof, o.Seed+7, runs[i].factory)

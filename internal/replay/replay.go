@@ -1,0 +1,291 @@
+// Package replay is the parallel, batched trace-replay pipeline: it
+// drives a concurrency-safe ShardedDirectory with a recorded (or
+// synthesized) access stream through the batched Apply path and reports
+// throughput, per-shard occupancy and the merged directory statistics.
+//
+// The paper's methodology replays identical access streams against every
+// directory organization; internal/trace does that one record at a time
+// through the functional simulator. This package is the scaled-up
+// counterpart: records are partitioned into fixed-size batches and N
+// worker goroutines apply them concurrently, so the sharded front-end —
+// not the generator — is the measured bottleneck. It is how "Trace-driven
+// sharded replay" throughput numbers (accesses/sec across shard counts,
+// worker counts and home functions) are produced; see DESIGN.md §6.
+//
+// Semantics versus the simulator path: replay feeds EVERY record to the
+// directory as a fill (no private-cache hit filtering, no evictions), so
+// it measures directory-side throughput under the full access stream —
+// the worst case a directory front-end can see. Batches are shard-affine
+// (see Run) and handed to workers in fill order; with one worker,
+// per-block operation order is exactly the stream order, while with
+// several workers two batches of the same shard may be applied out of
+// order, so aggregate statistics (occupancy, attempt histogram,
+// invalidation counts) are meaningful but per-access Op sequences are
+// not. Use trace.Replay when bit-identical simulator state matters.
+package replay
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"cuckoodir/internal/directory"
+	"cuckoodir/internal/trace"
+	"cuckoodir/internal/workload"
+)
+
+// Source yields trace records; io.EOF ends the stream. *trace.Reader
+// satisfies it via TraceSource, and Synthesize generates records from a
+// workload profile without touching disk.
+type Source interface {
+	Next() (trace.Record, error)
+}
+
+// readerSource adapts a *trace.Reader.
+type readerSource struct{ r *trace.Reader }
+
+func (s readerSource) Next() (trace.Record, error) { return s.r.Read() }
+
+// TraceSource adapts a trace reader to the pipeline's Source.
+func TraceSource(r *trace.Reader) Source { return readerSource{r} }
+
+// synthSource generates records round-robin across cores — the same
+// interleaving trace.Capture records, minus the file.
+type synthSource struct {
+	gens []*workload.Generator
+	next int
+	left int
+}
+
+// Synthesize returns a Source producing n records of the profile's
+// access stream, interleaved round-robin over cores, deterministic in
+// (profile, cores, seed) and identical to what trace.Capture with the
+// same arguments would record.
+func Synthesize(prof workload.Profile, cores int, seed uint64, n int) Source {
+	gens := make([]*workload.Generator, cores)
+	for c := range gens {
+		gens[c] = workload.NewGenerator(prof, c, cores, seed)
+	}
+	return &synthSource{gens: gens, left: n}
+}
+
+func (s *synthSource) Next() (trace.Record, error) {
+	if s.left <= 0 {
+		return trace.Record{}, io.EOF
+	}
+	s.left--
+	c := s.next
+	s.next = (s.next + 1) % len(s.gens)
+	return trace.Record{Core: c, Access: s.gens[c].Next()}, nil
+}
+
+// Options parameterize a replay run. The zero value is usable.
+type Options struct {
+	// Workers is the number of goroutines applying batches
+	// (default GOMAXPROCS).
+	Workers int
+	// BatchSize is the number of records per Apply batch (default 256).
+	BatchSize int
+}
+
+// DefaultBatchSize is the records-per-batch default: large enough that
+// per-batch overhead (channel hop, shard grouping) amortizes, small
+// enough that batches from different workers overlap across shards.
+const DefaultBatchSize = 256
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	return o
+}
+
+// Result reports one replay run.
+type Result struct {
+	// Accesses is the number of records applied; Batches the number of
+	// ApplyShard calls they were partitioned into.
+	Accesses uint64
+	Batches  uint64
+	// Elapsed is the wall time of the pipeline (reading, batching and
+	// applying overlap; this is end-to-end).
+	Elapsed time.Duration
+	// Workers and BatchSize echo the effective options.
+	Workers   int
+	BatchSize int
+	// Stats is the merged directory statistics snapshot after the run.
+	Stats *directory.Stats
+	// ShardLens is each shard's tracked-block count after the run;
+	// Capacity the aggregate entry-slot capacity (0 when unbounded).
+	ShardLens []int
+	Capacity  int
+}
+
+// Throughput returns replayed accesses per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Accesses) / r.Elapsed.Seconds()
+}
+
+// Entries returns the tracked-block total (the sum of ShardLens).
+func (r Result) Entries() int {
+	total := 0
+	for _, n := range r.ShardLens {
+		total += n
+	}
+	return total
+}
+
+// Occupancy returns Entries relative to Capacity (0 when unbounded).
+func (r Result) Occupancy() float64 {
+	if r.Capacity == 0 {
+		return 0
+	}
+	return float64(r.Entries()) / float64(r.Capacity)
+}
+
+// ShardImbalance returns max/mean of the per-shard occupancy — 1.0 is a
+// perfectly balanced home function, and low-bit interleaving over
+// region-striped address streams shows up here first.
+func (r Result) ShardImbalance() float64 {
+	if len(r.ShardLens) == 0 {
+		return 0
+	}
+	maxLen, total := 0, 0
+	for _, n := range r.ShardLens {
+		total += n
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(r.ShardLens))
+	return float64(maxLen) / mean
+}
+
+// String renders the one-line report the CLI prints.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"%d accesses in %.2fs (%.0f acc/s, %d workers, batch %d): %.2f avg insertion attempts, %d forced invalidations, occupancy %.1f%%, shard imbalance %.2fx",
+		r.Accesses, r.Elapsed.Seconds(), r.Throughput(), r.Workers, r.BatchSize,
+		r.Stats.Attempts.Mean(), r.Stats.ForcedEvictions, r.Occupancy()*100, r.ShardImbalance())
+}
+
+// Run drives the pipeline: records from src are packed into fixed-size,
+// shard-affine batches on the caller's goroutine and applied by
+// Options.Workers goroutines through the directory's batched apply
+// path. Reads become AccessRead, writes AccessWrite; record cores index
+// tracked caches directly, so every core must be < dir.NumCaches().
+//
+// Batches are shard-affine — the producer routes each record to its home
+// shard's pending batch (ShardOf) and emits a batch when it fills — so
+// workers apply each batch through ApplyShard: one lock acquisition, no
+// grouping pass, no discarded Op slice, and the worker pool, not Apply's
+// internal fan-out, supplies the parallelism. This is the directory-side
+// batching DLS-style designs argue for: accesses to one home slice drain
+// under one lock acquisition while other slices proceed independently.
+//
+// On a source or record error the pipeline stops producing (pending
+// partial batches are dropped), drains in-flight batches, and returns
+// the error together with the partial Result.
+func Run(dir *directory.ShardedDirectory, src Source, o Options) (Result, error) {
+	o = o.withDefaults()
+	res := Result{Workers: o.Workers, BatchSize: o.BatchSize}
+
+	type shardBatch struct {
+		shard    int
+		accesses []directory.Access
+	}
+	batches := make(chan shardBatch, 2*o.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range batches {
+				dir.ApplyShard(b.shard, b.accesses)
+			}
+		}()
+	}
+
+	numCaches := dir.NumCaches()
+	start := time.Now()
+	var err error
+	pending := make([][]directory.Access, dir.ShardCount())
+	for {
+		rec, rerr := src.Next()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		if rec.Core < 0 || rec.Core >= numCaches {
+			err = fmt.Errorf("replay: record core %d out of range (directory tracks %d caches)", rec.Core, numCaches)
+			break
+		}
+		kind := directory.AccessRead
+		if rec.Access.Write {
+			kind = directory.AccessWrite
+		}
+		h := dir.ShardOf(rec.Access.Addr)
+		if pending[h] == nil {
+			pending[h] = make([]directory.Access, 0, o.BatchSize)
+		}
+		pending[h] = append(pending[h], directory.Access{Kind: kind, Addr: rec.Access.Addr, Cache: rec.Core})
+		if len(pending[h]) == o.BatchSize {
+			res.Accesses += uint64(o.BatchSize)
+			res.Batches++
+			batches <- shardBatch{shard: h, accesses: pending[h]}
+			pending[h] = nil
+		}
+	}
+	if err == nil {
+		for h, b := range pending {
+			if len(b) > 0 {
+				res.Accesses += uint64(len(b))
+				res.Batches++
+				batches <- shardBatch{shard: h, accesses: b}
+				pending[h] = nil
+			}
+		}
+	}
+	close(batches)
+	wg.Wait()
+
+	res.Elapsed = time.Since(start)
+	res.Stats = dir.Stats()
+	res.ShardLens = dir.ShardLens()
+	res.Capacity = dir.Capacity()
+	return res, err
+}
+
+// ReplayTrace replays a recorded trace through the sharded directory.
+// The trace's core count must not exceed the directory's tracked-cache
+// count (each core drives the same-numbered cache).
+func ReplayTrace(dir *directory.ShardedDirectory, r *trace.Reader, o Options) (Result, error) {
+	if r.Cores() > dir.NumCaches() {
+		return Result{}, fmt.Errorf("replay: trace has %d cores but the directory tracks only %d caches",
+			r.Cores(), dir.NumCaches())
+	}
+	return Run(dir, TraceSource(r), o)
+}
+
+// ReplayWorkload synthesizes n accesses of the profile (round-robin over
+// cores, as trace.Capture would record) and replays them — the
+// trace-free path for sweeps and benchmarks.
+func ReplayWorkload(dir *directory.ShardedDirectory, prof workload.Profile, cores int, seed uint64, n int, o Options) (Result, error) {
+	if cores <= 0 || cores > dir.NumCaches() {
+		return Result{}, fmt.Errorf("replay: %d cores out of range (directory tracks %d caches)", cores, dir.NumCaches())
+	}
+	return Run(dir, Synthesize(prof, cores, seed, n), o)
+}

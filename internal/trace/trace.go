@@ -47,28 +47,41 @@ type Record struct {
 // Writer streams trace records to an io.Writer.
 type Writer struct {
 	w     *bufio.Writer
+	raw   io.Writer // the unbuffered writer, for Close's header patch
+	start int64     // the header's offset within raw (see NewWriter)
 	cores int
 	count uint64
-	// countPos requires a seekable writer to patch the header; instead
-	// the count is finalized by Close re-writing through a WriterAt when
-	// available, or by the caller using Count() with a prebuilt header.
-	headerWritten bool
-	err           error
+	err   error
 }
 
+// countOffset is the byte offset of the header's record-count field
+// relative to the header start (after the magic and the core count).
+const countOffset = 8 + 4
+
 // NewWriter creates a trace writer for a system with the given core
-// count. The header's record count is written as zero and patched by
-// Close when the underlying writer supports io.WriteSeeker — otherwise
-// readers fall back to reading until EOF.
+// count. The header's record count is written as zero; Close finalizes
+// it in place when the underlying writer supports io.WriterAt (os.File
+// does) — otherwise the zero count stays and readers fall back to
+// reading until EOF (Reader.Total reports 0).
+//
+// When w is also an io.Seeker (a file), the header may start at the
+// writer's current offset — the patch lands relative to it. A WriterAt
+// that is not a Seeker is assumed to receive the header at offset 0.
+// Files opened with O_APPEND cannot be patched (WriteAt rejects them);
+// Close then reports the error after the flush.
 func NewWriter(w io.Writer, cores int) (*Writer, error) {
 	if cores <= 0 || cores > 255 {
 		return nil, fmt.Errorf("trace: cores = %d out of range", cores)
 	}
-	tw := &Writer{w: bufio.NewWriterSize(w, 1<<20), cores: cores}
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<20), raw: w, cores: cores}
+	if s, ok := w.(io.Seeker); ok {
+		if off, err := s.Seek(0, io.SeekCurrent); err == nil {
+			tw.start = off
+		}
+	}
 	if err := tw.writeHeader(0); err != nil {
 		return nil, err
 	}
-	tw.headerWritten = true
 	return tw, nil
 }
 
@@ -117,6 +130,33 @@ func (t *Writer) Flush() error {
 		return t.err
 	}
 	return t.w.Flush()
+}
+
+// Close flushes buffered records and finalizes the header's record
+// count: when the underlying writer implements io.WriterAt the count
+// field is patched in place, so readers of the finished trace see an
+// exact Total. For non-seekable sinks (pipes, network streams, plain
+// buffers) the header keeps its zero count and readers fall back to
+// reading until EOF — a well-formed but "unknown length" trace.
+//
+// Close does not close the underlying writer; the Writer must not be
+// used afterwards (further Writes would land after a patched header
+// without being counted in it).
+func (t *Writer) Close() error {
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	wa, ok := t.raw.(io.WriterAt)
+	if !ok {
+		return nil
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], t.count)
+	if _, err := wa.WriteAt(buf[:], t.start+countOffset); err != nil {
+		t.err = fmt.Errorf("trace: patching header count: %w", err)
+		return t.err
+	}
+	return nil
 }
 
 // Reader streams trace records from an io.Reader.
@@ -202,7 +242,9 @@ func Replay(r *Reader, sys *cmpsim.System) (uint64, error) {
 
 // Capture runs the given workload's generators round-robin for n accesses
 // and writes the interleaved trace — the checkpoint-capture step of the
-// methodology.
+// methodology. The header's record count is finalized through Close, so
+// captures onto an io.WriterAt (a file) carry an exact Total while
+// stream sinks stay readable via the read-to-EOF fallback.
 func Capture(w io.Writer, prof workload.Profile, cores int, seed uint64, n int) (uint64, error) {
 	tw, err := NewWriter(w, cores)
 	if err != nil {
@@ -218,5 +260,5 @@ func Capture(w io.Writer, prof workload.Profile, cores int, seed uint64, n int) 
 			return tw.Count(), err
 		}
 	}
-	return tw.Count(), tw.Flush()
+	return tw.Count(), tw.Close()
 }

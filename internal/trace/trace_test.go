@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"cuckoodir/internal/cmpsim"
@@ -177,5 +179,81 @@ func BenchmarkWrite(b *testing.B) {
 		if err := w.Write(rec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestCloseFinalizesCount: Close patches the header's record count in
+// place when the sink is an io.WriterAt (a file), so readers of a
+// finished capture see an exact Total; stream sinks keep the zero-count
+// fallback.
+func TestCloseFinalizesCount(t *testing.T) {
+	prof, err := workload.ByName("db2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "capture.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1234
+	count, err := Capture(f, prof, 4, 9, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("captured %d, want %d", count, n)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	rd, err := NewReader(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Total() != n {
+		t.Fatalf("header Total = %d, want %d (Close should have patched it)", rd.Total(), n)
+	}
+	got := 0
+	for {
+		if _, err := rd.Read(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("read %d records, want %d", got, n)
+	}
+
+	// A non-seekable sink keeps the zero count but stays readable.
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, prof, 4, 9, 57); err != nil {
+		t.Fatal(err)
+	}
+	rd2, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd2.Total() != 0 {
+		t.Fatalf("buffer capture Total = %d, want 0 (read-to-EOF fallback)", rd2.Total())
+	}
+	got = 0
+	for {
+		if _, err := rd2.Read(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	if got != 57 {
+		t.Fatalf("buffer capture read %d records, want 57", got)
 	}
 }

@@ -6,7 +6,7 @@
 // The real workloads are not reproducible here (commercial databases,
 // Solaris 8, FLEXUS checkpoints), so each is replaced by a generator that
 // reproduces the block-level properties every directory metric in the
-// paper actually depends on — see DESIGN.md §1:
+// paper actually depends on — see DESIGN.md §7:
 //
 //   - a shared read-only code footprint (instruction fetches hit the same
 //     blocks in every core's I-cache, the main source of directory entry
