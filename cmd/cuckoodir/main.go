@@ -8,13 +8,14 @@
 //	cuckoodir orgs                  # show registered directory organizations
 //	cuckoodir run [flags] <id>...   # run selected experiments
 //	cuckoodir all [flags]           # run the whole suite
+//	cuckoodir bench [-json]         # run the benchmark suite / record BENCH_cuckoo.json
 //
 // Flags:
 //
 //	-scale quick|full   measurement scale (default quick)
 //	-seed N             simulation seed (default 0)
 //	-dir a,b,c          sweep exactly the named organizations (experiments
-//	                    that sweep orgs: fig12, latency)
+//	                    that sweep orgs: fig9, fig12, formats, latency)
 //
 // EXPERIMENTS.md maps each experiment id to the paper artifact it
 // reproduces; README.md's "Trace replay & sweeps" section shows the
@@ -25,10 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strings"
 	"time"
 
+	"cuckoodir/internal/bench"
 	"cuckoodir/internal/cmpsim"
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/exp"
@@ -66,6 +69,8 @@ func run(args []string) error {
 		return nil
 	case "orgs":
 		return orgsCmd()
+	case "bench":
+		return benchCmd(rest)
 	case "trace":
 		return traceCmd(rest)
 	case "run", "all":
@@ -187,6 +192,61 @@ func orgsCmd() error {
 	}
 	fmt.Println("\nparametric names are also accepted: cuckoo-4x1024, sparse-8x2048, skewed-4x1024,")
 	fmt.Println("elbow-4x1024, dup-tag-ASSOCxSETS, tagless-SETSxBITSxHASHES, in-cache-N, ideal-N")
+	return nil
+}
+
+// benchCmd implements `cuckoodir bench`: it runs the fixed benchmark
+// suite of internal/bench and, with -json, appends the labeled run to
+// the BENCH_cuckoo.json trajectory (sorted keys, one entry per label —
+// re-running a label replaces its entry, so the file diffs cleanly
+// across PRs).
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "append the run to the JSON trajectory file")
+	out := fs.String("out", bench.DefaultPath, "trajectory file path (with -json)")
+	label := fs.String("label", "dev", "run label in the trajectory (one entry per label)")
+	runFilter := fs.String("run", "", "only run cases whose name matches this regexp (partial runs record only the selected rows)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("bench takes no positional arguments")
+	}
+	var match func(string) bool
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			return fmt.Errorf("bench: -run: %w", err)
+		}
+		match = re.MatchString
+	}
+	run := bench.RunSuite(*label, match, func(format string, a ...any) {
+		fmt.Printf(format, a...)
+	})
+	if len(run.Results) == 0 {
+		return fmt.Errorf("bench: -run %q selected no cases", *runFilter)
+	}
+	// The headline acceptance ratio: devirtualized vs interface-dispatch
+	// path at the 70%-occupancy comparison point.
+	for _, op := range []string{"find", "insert"} {
+		fast, okF := run.Results["table/"+op+"/skew/occ=70"]
+		iface, okI := run.Results["table/"+op+"/iface/occ=70"]
+		if okF && okI && fast.NsPerOp > 0 {
+			fmt.Printf("%s speedup vs interface dispatch (occ=70): %.2fx\n", op, iface.NsPerOp/fast.NsPerOp)
+		}
+	}
+	if !*jsonOut {
+		return nil
+	}
+	tr, err := bench.Load(*out)
+	if err != nil {
+		return err
+	}
+	tr.Add(run)
+	if err := tr.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded run %q (%d cases) in %s\n", *label, len(run.Results), *out)
 	return nil
 }
 
@@ -339,6 +399,11 @@ func usage() {
   cuckoodir orgs                  show registered directory organizations
   cuckoodir run [flags] <id>...   run selected experiments
   cuckoodir all [flags]           run the whole suite
+  cuckoodir bench [-json] [-out FILE] [-label L] [-run REGEXP]
+                                  run the fixed performance-benchmark suite
+                                  (table find/insert/delete sweeps, sharded
+                                  replay); -json appends the labeled run to
+                                  the BENCH_cuckoo.json trajectory
   cuckoodir trace record -file F [-workload W] [-n N] [-seed S]
   cuckoodir trace replay -file F [-config shared|private] [-workload W] [-dir ORG]
   cuckoodir trace replay -file F -dir ORG [-workers N] [-shards N] [-batch N] [-home mix|interleave]
@@ -350,7 +415,7 @@ flags (run/all):
   -scale quick|full   measurement scale (default quick)
   -seed N             simulation seed (default 0)
   -dir a,b,c          sweep exactly the named organizations (experiments
-                      that sweep orgs: fig12, latency); parametric and
+                      that sweep orgs: fig9, fig12, formats, latency); parametric and
                       sharded registry names are accepted
 `)
 }

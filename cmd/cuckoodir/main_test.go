@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"cuckoodir/internal/bench"
 	"cuckoodir/internal/exp"
 )
 
@@ -106,5 +107,35 @@ func TestTraceRoundTripCLI(t *testing.T) {
 	}
 	if err := run([]string{"trace", "replay", "-file", file, "-dir", "cuckoo-4x512", "-home", "north"}); err == nil {
 		t.Error("bad -home accepted")
+	}
+}
+
+// TestBenchCommand exercises `bench` end to end on a single fast case:
+// flag validation, the -run filter, and the -json trajectory append
+// (twice, to cover the in-place label replacement).
+func TestBenchCommand(t *testing.T) {
+	if err := run([]string{"bench", "-run", "["}); err == nil {
+		t.Error("bad -run regexp accepted")
+	}
+	if err := run([]string{"bench", "-run", "no-such-case"}); err == nil {
+		t.Error("empty case selection accepted")
+	}
+	if err := run([]string{"bench", "extra-arg"}); err == nil {
+		t.Error("positional argument accepted")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	args := []string{"bench", "-json", "-out", out, "-label", "cli-test",
+		"-run", `^table/find/skew/occ=50$`}
+	for i := 0; i < 2; i++ {
+		if err := run(args); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := bench.Load(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Runs) != 1 || tr.Runs[0].Label != "cli-test" || len(tr.Runs[0].Results) != 1 {
+			t.Fatalf("pass %d: trajectory = %+v", i, tr)
+		}
 	}
 }

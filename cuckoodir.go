@@ -135,6 +135,11 @@ func LookupSpec(name string) (Spec, bool) { return directory.LookupSpec(name) }
 // batch.
 type ShardedDirectory = directory.ShardedDirectory
 
+// ShardCounters is the lock-free snapshot of a ShardedDirectory's hot
+// per-shard operation counters (ShardedDirectory.Counters /
+// CountersByShard): pollable at any rate without stalling any shard.
+type ShardCounters = directory.ShardCounters
+
 // Access is one directory operation in an Apply batch.
 type Access = directory.Access
 

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// BenchmarkTableFind / BenchmarkTableInsert / BenchmarkTableDelete are
+// the acceptance benchmarks of the devirtualized hot path: compare the
+// /skew/occ=70 sub-benchmark (fast path) against /iface/occ=70 (the
+// pre-devirtualization Family-interface dispatch path) — the committed
+// BENCH_cuckoo.json records the measured ratio.
+
+func benchGroup(b *testing.B, prefix string) {
+	for _, c := range Cases() {
+		if strings.HasPrefix(c.Name, prefix) {
+			b.Run(strings.TrimPrefix(c.Name, prefix), c.Bench)
+		}
+	}
+}
+
+func BenchmarkTableFind(b *testing.B)   { benchGroup(b, "table/find/") }
+func BenchmarkTableInsert(b *testing.B) { benchGroup(b, "table/insert/") }
+func BenchmarkTableDelete(b *testing.B) { benchGroup(b, "table/delete/") }
+func BenchmarkReplayPipeline(b *testing.B) {
+	if testing.Short() {
+		b.Skip("replay sweep needs real parallelism")
+	}
+	benchGroup(b, "replay/")
+}
+
+// TestCasesFixed pins the suite's case names: the trajectory file is
+// only comparable across PRs if the set stays append-only.
+func TestCasesFixed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cases() {
+		if c.Name == "" || c.Bench == nil {
+			t.Fatalf("malformed case %+v", c)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate case %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	for _, want := range []string{
+		"table/find/skew/occ=70",
+		"table/find/iface/occ=70",
+		"table/insert/skew/occ=70",
+		"table/insert/iface/occ=70",
+		"table/delete/strong/occ=50",
+		"replay/shards=8/workers=4",
+	} {
+		if !seen[want] {
+			t.Fatalf("case %q missing from the fixed set", want)
+		}
+	}
+}
+
+// TestTrajectoryRoundTrip exercises Load/Add/Save: appending, in-place
+// label replacement, deterministic bytes.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != 1 || len(tr.Runs) != 0 {
+		t.Fatalf("empty trajectory = %+v", tr)
+	}
+	run1 := Run{Label: "pr1", MaxProcs: 8, Results: map[string]Result{
+		"table/find/skew/occ=70": {NsPerOp: 50, OpsPerSec: 2e7},
+	}}
+	tr.Add(run1)
+	run2 := Run{Label: "pr2", MaxProcs: 8, Results: map[string]Result{
+		"table/find/skew/occ=70": {NsPerOp: 25, OpsPerSec: 4e7},
+	}}
+	tr.Add(run2)
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, tr) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", back, tr)
+	}
+	// Replacing a label keeps its position and the byte output stable.
+	run1b := run1
+	run1b.MaxProcs = 16
+	back.Add(run1b)
+	if len(back.Runs) != 2 || back.Runs[0].MaxProcs != 16 || back.Runs[0].Label != "pr1" {
+		t.Fatalf("label replacement failed: %+v", back.Runs)
+	}
+	if err := back.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(path)
+	if err := back.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(a) != string(b) {
+		t.Fatal("Save is not deterministic")
+	}
+	if got, ok := back.Lookup("pr2"); !ok || got.Results["table/find/skew/occ=70"].NsPerOp != 25 {
+		t.Fatalf("Lookup(pr2) = %+v, %v", got, ok)
+	}
+}
+
+// TestBenchTableOccupancy sanity-checks the setup helper: the table
+// lands on the requested occupancy and the key list is exact.
+func TestBenchTableOccupancy(t *testing.T) {
+	tb, keys := newBenchTable("skew", 70)
+	if got := tb.Occupancy(); got < 0.69 || got > 0.71 {
+		t.Fatalf("occupancy = %v", got)
+	}
+	if len(keys) != tb.Len() {
+		t.Fatalf("keys %d != Len %d", len(keys), tb.Len())
+	}
+	for _, k := range keys[:100] {
+		if !tb.Contains(k) {
+			t.Fatalf("key %#x missing", k)
+		}
+	}
+}

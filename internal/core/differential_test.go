@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cuckoodir/internal/hashfn"
+	"cuckoodir/internal/rng"
+)
+
+// The differential tests behind the PR-4 acceptance criteria: the
+// devirtualized fast path (batch indexer + single-entry-bucket
+// specialization) must be operation-for-operation equivalent to both
+// the generic bucketized path and the old Family-interface dispatch
+// path (reproduced exactly by hashfn.Opaque, which defeats indexer
+// specialization).
+
+// diffOp is one random table operation.
+type diffOp struct {
+	kind int // 0 = insert, 1 = find, 2 = delete
+	key  uint64
+	val  uint64
+}
+
+// diffOps generates a deterministic op sequence over a bounded key
+// universe sized to drive the table deep into displacement territory.
+func diffOps(seed uint64, n int, universe uint64) []diffOp {
+	r := rng.New(seed)
+	ops := make([]diffOp, n)
+	for i := range ops {
+		ops[i] = diffOp{
+			kind: int(r.Uint64() % 10),
+			key:  r.Uint64() % universe,
+			val:  r.Uint64(),
+		}
+		if ops[i].kind < 5 {
+			ops[i].kind = 0 // 50% insert
+		} else if ops[i].kind < 8 {
+			ops[i].kind = 1 // 30% find
+		} else {
+			ops[i].kind = 2 // 20% delete
+		}
+	}
+	return ops
+}
+
+// applyCompare drives a and b through the same op and fails on any
+// observable divergence.
+func applyCompare(t *testing.T, a, b *Table[uint64], i int, op diffOp) {
+	t.Helper()
+	switch op.kind {
+	case 0:
+		ra, rb := a.Insert(op.key, op.val), b.Insert(op.key, op.val)
+		if ra.Present != rb.Present || ra.Attempts != rb.Attempts || ra.Stashed != rb.Stashed ||
+			(ra.Evicted == nil) != (rb.Evicted == nil) {
+			t.Fatalf("op %d: Insert(%#x) diverged: %+v vs %+v", i, op.key, ra, rb)
+		}
+		if ra.Evicted != nil && *ra.Evicted != *rb.Evicted {
+			t.Fatalf("op %d: Insert(%#x) evicted %+v vs %+v", i, op.key, *ra.Evicted, *rb.Evicted)
+		}
+	case 1:
+		pa, pb := a.Find(op.key), b.Find(op.key)
+		if (pa == nil) != (pb == nil) || (pa != nil && *pa != *pb) {
+			t.Fatalf("op %d: Find(%#x) diverged", i, op.key)
+		}
+	case 2:
+		if da, db := a.Delete(op.key), b.Delete(op.key); da != db {
+			t.Fatalf("op %d: Delete(%#x) = %v vs %v", i, op.key, da, db)
+		}
+	}
+	if a.Len() != b.Len() || a.StashLen() != b.StashLen() {
+		t.Fatalf("op %d: Len %d/%d StashLen %d/%d diverged", i, a.Len(), b.Len(), a.StashLen(), b.StashLen())
+	}
+}
+
+// compareContents fails unless both tables hold exactly the same
+// entries.
+func compareContents(t *testing.T, a, b *Table[uint64]) {
+	t.Helper()
+	dump := func(tb *Table[uint64]) map[uint64]uint64 {
+		m := make(map[uint64]uint64)
+		tb.ForEach(func(e Entry[uint64]) bool { m[e.Key] = e.Val; return true })
+		return m
+	}
+	ma, mb := dump(a), dump(b)
+	if len(ma) != len(mb) {
+		t.Fatalf("contents diverged: %d vs %d entries", len(ma), len(mb))
+	}
+	for k, v := range ma {
+		if mb[k] != v {
+			t.Fatalf("contents diverged at key %#x: %#x vs %#x", k, v, mb[k])
+		}
+	}
+}
+
+// diffConfigs is the configuration sweep the differential tests cover:
+// every hash family, several way counts, stash on and off.
+func diffConfigs() []Config {
+	var cfgs []Config
+	for _, fam := range []hashfn.Family{nil, hashfn.Strong{}, hashfn.XorFold{}} {
+		for _, ways := range []int{2, 3, 4, 8} {
+			for _, stash := range []int{0, 4} {
+				cfgs = append(cfgs, Config{
+					Ways: ways, SetsPerWay: 64, StashSize: stash, Hash: fam,
+				})
+			}
+		}
+	}
+	return cfgs
+}
+
+func cfgName(cfg Config) string {
+	fam := "skew"
+	if cfg.Hash != nil {
+		fam = cfg.Hash.Name()
+	}
+	return fmt.Sprintf("%s/ways=%d/stash=%d/bucket=%d", fam, cfg.Ways, cfg.StashSize, cfg.BucketSize)
+}
+
+// TestFastGenericEquivalent proves the BucketSize==1 specialized path
+// and the generic bucketized path produce identical results, evictions,
+// attempt counts and final contents on randomized op sequences.
+func TestFastGenericEquivalent(t *testing.T) {
+	for _, cfg := range diffConfigs() {
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			fast := NewTable[uint64](cfg)
+			gen := NewTable[uint64](cfg)
+			gen.forceGeneric = true
+			if !fast.fast || gen.forceGeneric == false {
+				t.Fatal("paths not pinned as intended")
+			}
+			// ~1.3x capacity universe keeps the table near saturation.
+			universe := uint64(cfg.Ways*cfg.SetsPerWay) * 13 / 10
+			for i, op := range diffOps(42, 20_000, universe) {
+				applyCompare(t, fast, gen, i, op)
+			}
+			compareContents(t, fast, gen)
+		})
+	}
+}
+
+// TestFastInterfaceEquivalent proves the devirtualized pipeline is
+// behaviorally identical to the pre-devirtualization Family-interface
+// dispatch path (hashfn.Opaque forces the indexer's interface
+// fallback), for single-entry buckets AND the bucketized ablation.
+func TestFastInterfaceEquivalent(t *testing.T) {
+	base := diffConfigs()
+	var cfgs []Config
+	for _, cfg := range base {
+		cfgs = append(cfgs, cfg)
+		bucketized := cfg
+		bucketized.BucketSize = 2
+		bucketized.SetsPerWay = 32 // hold capacity constant
+		cfgs = append(cfgs, bucketized)
+	}
+	for _, cfg := range cfgs {
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			iface := cfg
+			fam := cfg.Hash
+			if fam == nil {
+				// Mirror normalize()'s default skew sizing exactly.
+				fam = defaultSkew(cfg.SetsPerWay)
+			}
+			iface.Hash = hashfn.Opaque(fam)
+			fast := NewTable[uint64](cfg)
+			old := NewTable[uint64](iface)
+			universe := uint64(fast.Capacity()) * 13 / 10
+			for i, op := range diffOps(7, 20_000, universe) {
+				applyCompare(t, fast, old, i, op)
+			}
+			compareContents(t, fast, old)
+		})
+	}
+}

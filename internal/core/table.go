@@ -77,9 +77,16 @@ func (c Config) normalize() Config {
 		panic("core: negative StashSize")
 	}
 	if c.Hash == nil {
-		c.Hash = hashfn.NewSkew(bits.TrailingZeros(uint(c.SetsPerWay)))
+		c.Hash = defaultSkew(c.SetsPerWay)
 	}
 	return c
+}
+
+// defaultSkew is the default hash family for a table with the given
+// per-way set count: the Seznec-Bodin skewing family sized to the index
+// width (the paper's final design choice, §5.5).
+func defaultSkew(setsPerWay int) hashfn.Family {
+	return hashfn.NewSkew(bits.TrailingZeros(uint(setsPerWay)))
 }
 
 // Entry is a key/value pair stored in the table.
@@ -116,24 +123,43 @@ type Result[V any] struct {
 
 // Table is a d-ary cuckoo hash table with uint64 keys.
 // It is not safe for concurrent use; each directory slice owns one.
+//
+// The probe pipeline is devirtualized and allocation-free: the hash
+// family is resolved into a concrete hashfn.Indexer once at NewTable,
+// and the paper's single-entry-bucket design (BucketSize == 1) runs a
+// specialized path that batch-computes all d way-indices per key and
+// reuses them across the lookup pass and the displacement loop. The
+// generic bucketized path is kept for the Panigrahy ablation
+// (BucketSize > 1) and for way counts beyond hashfn.MaxWays.
 type Table[V any] struct {
 	cfg     Config
 	mask    uint64
+	ix      hashfn.Indexer
 	slots   []slot[V]
 	used    int
 	nextWay int
 	rot     int // rotating victim-slot choice within a bucket
 	stash   []Entry[V]
+	// fast selects the specialized single-entry-bucket pipeline
+	// (BucketSize == 1 and Ways <= hashfn.MaxWays).
+	fast bool
+	// forceGeneric pins the generic bucketized path on a fast-eligible
+	// table; the differential tests use it to prove the two paths are
+	// operation-for-operation equivalent.
+	forceGeneric bool
 }
 
 // NewTable creates an empty table from cfg (which is validated and given
 // defaults).
 func NewTable[V any](cfg Config) *Table[V] {
 	cfg = cfg.normalize()
+	mask := uint64(cfg.SetsPerWay - 1)
 	t := &Table[V]{
 		cfg:   cfg,
-		mask:  uint64(cfg.SetsPerWay - 1),
+		mask:  mask,
+		ix:    hashfn.NewIndexer(cfg.Hash, cfg.Ways, mask),
 		slots: make([]slot[V], cfg.Ways*cfg.SetsPerWay*cfg.BucketSize),
+		fast:  cfg.BucketSize == 1 && cfg.Ways <= hashfn.MaxWays,
 	}
 	if cfg.StashSize > 0 {
 		t.stash = make([]Entry[V], 0, cfg.StashSize)
@@ -160,9 +186,10 @@ func (t *Table[V]) Occupancy() float64 {
 	return float64(t.used) / float64(t.Capacity())
 }
 
-// index returns the set index of key in the given way.
+// index returns the set index of key in the given way, through the
+// devirtualized indexer.
 func (t *Table[V]) index(way int, key uint64) int {
-	return int(t.cfg.Hash.Hash(way, key) & t.mask)
+	return int(t.ix.Index(way, key))
 }
 
 // bucketBase returns the slot offset of (way, set).
@@ -173,6 +200,18 @@ func (t *Table[V]) bucketBase(way, set int) int {
 // Find returns a pointer to the value stored under key, or nil. The
 // pointer is invalidated by any subsequent mutation of the table.
 func (t *Table[V]) Find(key uint64) *V {
+	if t.fast && !t.forceGeneric {
+		var idx [hashfn.MaxWays]uint64
+		t.ix.IndexAll(key, &idx)
+		sets := t.cfg.SetsPerWay
+		for w := 0; w < t.cfg.Ways; w++ {
+			s := &t.slots[w*sets+int(idx[w])]
+			if s.valid && s.key == key {
+				return &s.val
+			}
+		}
+		return t.findStash(key)
+	}
 	for w := 0; w < t.cfg.Ways; w++ {
 		base := t.bucketBase(w, t.index(w, key))
 		for b := 0; b < t.cfg.BucketSize; b++ {
@@ -182,6 +221,11 @@ func (t *Table[V]) Find(key uint64) *V {
 			}
 		}
 	}
+	return t.findStash(key)
+}
+
+// findStash returns a pointer to key's stash entry, or nil.
+func (t *Table[V]) findStash(key uint64) *V {
 	for i := range t.stash {
 		if t.stash[i].Key == key {
 			return &t.stash[i].Val
@@ -203,12 +247,102 @@ func (t *Table[V]) Contains(key uint64) bool { return t.Find(key) != nil }
 // entry lands in a vacant slot or the budget is exhausted — in which case
 // the most recently displaced entry is discarded (or stashed).
 func (t *Table[V]) Insert(key uint64, val V) Result[V] {
+	if t.fast && !t.forceGeneric {
+		return t.insertFast(key, val)
+	}
+	return t.insertGeneric(key, val)
+}
+
+// insertFast is the specialized Insert for the paper's single-entry-
+// bucket design: all d way-indices of the inserted key are computed in
+// one batch and reused across the lookup pass and the first displacement
+// step; displaced keys need exactly one fresh index (their next way)
+// per attempt. It is operation-for-operation equivalent to
+// insertGeneric on BucketSize == 1 tables, which the differential tests
+// verify.
+func (t *Table[V]) insertFast(key uint64, val V) Result[V] {
+	var idx [hashfn.MaxWays]uint64
+	t.ix.IndexAll(key, &idx)
+	ways, sets := t.cfg.Ways, t.cfg.SetsPerWay
+
 	// Lookup pass: find the key or a vacant slot. Ways are scanned from
 	// nextWay so vacancy selection also rotates, keeping the distribution
 	// of entries across ways uniform.
 	vacantWay, vacantSlot := -1, -1
-	for i := 0; i < t.cfg.Ways; i++ {
-		w := (t.nextWay + i) % t.cfg.Ways
+	w := t.nextWay
+	for i := 0; i < ways; i++ {
+		si := w*sets + int(idx[w])
+		s := &t.slots[si]
+		if s.valid {
+			if s.key == key {
+				s.val = val
+				return Result[V]{Present: true}
+			}
+		} else if vacantWay == -1 {
+			vacantWay, vacantSlot = w, si
+		}
+		if w++; w == ways {
+			w = 0
+		}
+	}
+	for i := range t.stash {
+		if t.stash[i].Key == key {
+			t.stash[i].Val = val
+			return Result[V]{Present: true}
+		}
+	}
+
+	if vacantWay != -1 {
+		t.slots[vacantSlot] = slot[V]{key: key, val: val, valid: true}
+		t.used++
+		t.nextWay = vacantWay
+		return Result[V]{Attempts: 1}
+	}
+
+	// Displacement loop. The lookup pass proved every eligible slot of
+	// key occupied, so the first probe (w == nextWay, index idx[w])
+	// always swaps; vacancy checks matter only for displaced keys
+	// arriving at their alternate way.
+	cur := Entry[V]{Key: key, Val: val}
+	w = t.nextWay
+	set := int(idx[w])
+	for attempt := 1; ; attempt++ {
+		s := &t.slots[w*sets+set]
+		if !s.valid {
+			*s = slot[V]{key: cur.Key, val: cur.Val, valid: true}
+			t.used++
+			t.nextWay = w
+			return Result[V]{Attempts: attempt}
+		}
+		if attempt == t.cfg.MaxAttempts {
+			// Budget exhausted: cur is the most recently displaced entry;
+			// discard or stash it.
+			t.nextWay = w
+			if len(t.stash) < cap(t.stash) {
+				t.stash = append(t.stash, cur)
+				return Result[V]{Attempts: attempt, Stashed: true}
+			}
+			victim := cur
+			return Result[V]{Attempts: attempt, Evicted: &victim}
+		}
+		// Swap cur with the slot's occupant and continue in the next way.
+		cur, s.key, s.val = Entry[V]{Key: s.key, Val: s.val}, cur.Key, cur.Val
+		if w++; w == ways {
+			w = 0
+		}
+		set = int(t.ix.Index(w, cur.Key))
+	}
+}
+
+// insertGeneric is the bucketized insertion procedure, kept for the
+// Panigrahy ablation (BucketSize > 1) and for way counts beyond the
+// batch indexer's width.
+func (t *Table[V]) insertGeneric(key uint64, val V) Result[V] {
+	ways := t.cfg.Ways
+	// Lookup pass, as in insertFast.
+	vacantWay, vacantSlot := -1, -1
+	w := t.nextWay
+	for i := 0; i < ways; i++ {
 		base := t.bucketBase(w, t.index(w, key))
 		for b := 0; b < t.cfg.BucketSize; b++ {
 			s := &t.slots[base+b]
@@ -219,6 +353,9 @@ func (t *Table[V]) Insert(key uint64, val V) Result[V] {
 			if !s.valid && vacantWay == -1 {
 				vacantWay, vacantSlot = w, base+b
 			}
+		}
+		if w++; w == ways {
+			w = 0
 		}
 	}
 	for i := range t.stash {
@@ -237,7 +374,7 @@ func (t *Table[V]) Insert(key uint64, val V) Result[V] {
 
 	// Displacement loop.
 	cur := Entry[V]{Key: key, Val: val}
-	w := t.nextWay
+	w = t.nextWay
 	for attempt := 1; attempt <= t.cfg.MaxAttempts; attempt++ {
 		base := t.bucketBase(w, t.index(w, cur.Key))
 		// A displaced entry may find a vacancy in its new bucket.
@@ -271,7 +408,9 @@ func (t *Table[V]) Insert(key uint64, val V) Result[V] {
 		vs := &t.slots[base+t.rot%t.cfg.BucketSize]
 		t.rot++
 		cur, vs.key, vs.val = Entry[V]{Key: vs.key, Val: vs.val}, cur.Key, cur.Val
-		w = (w + 1) % t.cfg.Ways
+		if w++; w == ways {
+			w = 0
+		}
 	}
 	panic("core: unreachable")
 }
@@ -281,6 +420,23 @@ func (t *Table[V]) Insert(key uint64, val V) Result[V] {
 // stash entry eligible for the freed position is opportunistically moved
 // back into the table.
 func (t *Table[V]) Delete(key uint64) bool {
+	if t.fast && !t.forceGeneric {
+		var idx [hashfn.MaxWays]uint64
+		t.ix.IndexAll(key, &idx)
+		sets := t.cfg.SetsPerWay
+		for w := 0; w < t.cfg.Ways; w++ {
+			si := w*sets + int(idx[w])
+			s := &t.slots[si]
+			if s.valid && s.key == key {
+				var zero slot[V]
+				*s = zero
+				t.used--
+				t.drainStashInto(si)
+				return true
+			}
+		}
+		return t.deleteStash(key)
+	}
 	for w := 0; w < t.cfg.Ways; w++ {
 		base := t.bucketBase(w, t.index(w, key))
 		for b := 0; b < t.cfg.BucketSize; b++ {
@@ -294,6 +450,11 @@ func (t *Table[V]) Delete(key uint64) bool {
 			}
 		}
 	}
+	return t.deleteStash(key)
+}
+
+// deleteStash removes key's stash entry, if any.
+func (t *Table[V]) deleteStash(key uint64) bool {
 	for i := range t.stash {
 		if t.stash[i].Key == key {
 			t.stash[i] = t.stash[len(t.stash)-1]

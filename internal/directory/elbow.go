@@ -21,10 +21,10 @@ import (
 // that experiences more forced invalidations than the Cuckoo directory."
 // The elbow experiment measures exactly that ordering.
 type Elbow struct {
-	ways      int
-	sets      int
-	hash      hashfn.Family
-	mask      uint64
+	ways int
+	sets int
+	// ix is the devirtualized skew-index pipeline (see setAssoc.ix).
+	ix        hashfn.Indexer
 	slots     []saEntry
 	used      int
 	lruClock  uint64
@@ -47,10 +47,10 @@ func NewElbow(ways, sets, numCaches int) *Elbow {
 		panic("directory: numCaches out of range")
 	}
 	return &Elbow{
-		ways:      ways,
-		sets:      sets,
-		hash:      hashfn.NewSkew(bits.TrailingZeros(uint(sets))),
-		mask:      uint64(sets - 1),
+		ways: ways,
+		sets: sets,
+		ix: hashfn.NewIndexer(
+			hashfn.NewSkew(bits.TrailingZeros(uint(sets))), ways, uint64(sets-1)),
 		slots:     make([]saEntry, ways*sets),
 		numCaches: numCaches,
 		stats:     core.NewDirStats(2),
@@ -79,10 +79,21 @@ func (e *Elbow) ResetStats() {
 }
 
 func (e *Elbow) slotIdx(way int, addr uint64) int {
-	return way*e.sets + int(e.hash.Hash(way, addr)&e.mask)
+	return way*e.sets + int(e.ix.Index(way, addr))
 }
 
 func (e *Elbow) find(addr uint64) *saEntry {
+	if e.ix.Batched() {
+		var idx [hashfn.MaxWays]uint64
+		e.ix.IndexAll(addr, &idx)
+		for w := 0; w < e.ways; w++ {
+			s := &e.slots[w*e.sets+int(idx[w])]
+			if s.valid && s.addr == addr {
+				return s
+			}
+		}
+		return nil
+	}
 	for w := 0; w < e.ways; w++ {
 		s := &e.slots[e.slotIdx(w, addr)]
 		if s.valid && s.addr == addr {

@@ -21,11 +21,13 @@ import (
 //     from the A candidate slots rather than displacing entries to their
 //     alternate locations. Victims are the LRU candidate.
 type setAssoc struct {
-	name      string
-	ways      int
-	sets      int
-	hash      hashfn.Family
-	mask      uint64
+	name string
+	ways int
+	sets int
+	// ix is the devirtualized per-way index pipeline, resolved once from
+	// the organization's hash family (see internal/hashfn.Indexer) — the
+	// same probing idiom the cuckoo table's hot path uses.
+	ix        hashfn.Indexer
 	slots     []saEntry
 	used      int
 	lruClock  uint64
@@ -66,8 +68,7 @@ func newSetAssoc(name string, ways, sets, numCaches int, h hashfn.Family) *setAs
 		name:      name,
 		ways:      ways,
 		sets:      sets,
-		hash:      h,
-		mask:      uint64(sets - 1),
+		ix:        hashfn.NewIndexer(h, ways, uint64(sets-1)),
 		slots:     make([]saEntry, ways*sets),
 		numCaches: numCaches,
 		stats:     core.NewDirStats(1),
@@ -94,11 +95,23 @@ func (s *setAssoc) ResetStats() { s.stats = core.NewDirStats(1) }
 
 // slotIdx returns the slot of (way, addr).
 func (s *setAssoc) slotIdx(way int, addr uint64) int {
-	return way*s.sets + int(s.hash.Hash(way, addr)&s.mask)
+	return way*s.sets + int(s.ix.Index(way, addr))
 }
 
-// find returns the entry tracking addr, or nil.
+// find returns the entry tracking addr, or nil. The candidate slots of
+// all ways are batch-indexed in one pass when the way count allows.
 func (s *setAssoc) find(addr uint64) *saEntry {
+	if s.ix.Batched() {
+		var idx [hashfn.MaxWays]uint64
+		s.ix.IndexAll(addr, &idx)
+		for w := 0; w < s.ways; w++ {
+			e := &s.slots[w*s.sets+int(idx[w])]
+			if e.valid && e.addr == addr {
+				return e
+			}
+		}
+		return nil
+	}
 	for w := 0; w < s.ways; w++ {
 		e := &s.slots[s.slotIdx(w, addr)]
 		if e.valid && e.addr == addr {
@@ -136,6 +149,9 @@ func (s *setAssoc) touch(e *saEntry) {
 // insert allocates an entry for addr, evicting the LRU candidate when all
 // eligible slots are occupied.
 func (s *setAssoc) insert(addr, sharers uint64) *Forced {
+	// Insertions are far rarer than lookups (one per allocated entry),
+	// so a single per-way indexed loop beats duplicating the victim
+	// policy across batched/unbatched variants.
 	var victim *saEntry
 	for w := 0; w < s.ways; w++ {
 		e := &s.slots[s.slotIdx(w, addr)]

@@ -2,7 +2,9 @@ package directory
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"cuckoodir/internal/core"
 )
@@ -112,11 +114,142 @@ type ShardedDirectory struct {
 	name      string
 }
 
+// ShardCounters is a snapshot of the hot operation counters a
+// ShardedDirectory maintains in per-shard padded atomics, readable at
+// any time WITHOUT taking any shard lock (Counters, CountersByShard) —
+// the stats-polling path that must not stall the shards (see
+// ROADMAP "per-shard stats without global stalls"). The full merged
+// DirStats snapshot (event mix, attempt histogram, occupancy samples)
+// still requires Stats, which locks each shard once.
+type ShardCounters struct {
+	// Reads, Writes and Evicts count dispatched operations by kind.
+	Reads, Writes, Evicts uint64
+	// Inserts counts operations that allocated a directory entry
+	// (Op.Attempts > 0); Attempts totals the entry writes those
+	// insertions performed, so Attempts/Inserts is the mean insertion
+	// attempt count.
+	Inserts  uint64
+	Attempts uint64
+	// Forced counts entries the directory discarded on insertion
+	// failure; ForcedBlocks the cache blocks invalidated as a result.
+	Forced       uint64
+	ForcedBlocks uint64
+}
+
+// Ops returns the total operation count.
+func (c ShardCounters) Ops() uint64 { return c.Reads + c.Writes + c.Evicts }
+
+// MeanAttempts returns the average insertion attempt count (0 when no
+// entry has been allocated).
+func (c ShardCounters) MeanAttempts() float64 {
+	if c.Inserts == 0 {
+		return 0
+	}
+	return float64(c.Attempts) / float64(c.Inserts)
+}
+
+// observe accumulates one operation outcome. Batched appliers observe
+// into a stack-local aggregate and flush it with one atomic add per
+// field, so the shard's atomics are touched once per batch, not once
+// per access.
+func (c *ShardCounters) observe(kind AccessKind, op Op) {
+	switch kind {
+	case AccessRead:
+		c.Reads++
+	case AccessWrite:
+		c.Writes++
+	default:
+		c.Evicts++
+	}
+	if op.Attempts > 0 {
+		c.Inserts++
+		c.Attempts += uint64(op.Attempts)
+	}
+	if len(op.Forced) > 0 {
+		c.Forced += uint64(len(op.Forced))
+		for _, f := range op.Forced {
+			c.ForcedBlocks += uint64(bits.OnesCount64(f.Sharers))
+		}
+	}
+}
+
+// add accumulates another snapshot into c.
+func (c *ShardCounters) add(o ShardCounters) {
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+	c.Evicts += o.Evicts
+	c.Inserts += o.Inserts
+	c.Attempts += o.Attempts
+	c.Forced += o.Forced
+	c.ForcedBlocks += o.ForcedBlocks
+}
+
+// shardCtr is the atomic backing store of one shard's ShardCounters.
+type shardCtr struct {
+	reads, writes, evicts, inserts, attempts, forced, forcedBlocks atomic.Uint64
+}
+
+// flush adds a local aggregate into the shard's atomics, skipping
+// fields with nothing to add.
+func (ctr *shardCtr) flush(c ShardCounters) {
+	if c.Reads != 0 {
+		ctr.reads.Add(c.Reads)
+	}
+	if c.Writes != 0 {
+		ctr.writes.Add(c.Writes)
+	}
+	if c.Evicts != 0 {
+		ctr.evicts.Add(c.Evicts)
+	}
+	if c.Inserts != 0 {
+		ctr.inserts.Add(c.Inserts)
+	}
+	if c.Attempts != 0 {
+		ctr.attempts.Add(c.Attempts)
+	}
+	if c.Forced != 0 {
+		ctr.forced.Add(c.Forced)
+	}
+	if c.ForcedBlocks != 0 {
+		ctr.forcedBlocks.Add(c.ForcedBlocks)
+	}
+}
+
+// snapshot loads the counters. Each field is individually exact;
+// because flushes are batched, cross-field relations (e.g. Attempts vs
+// Inserts) may be off by one in-flight batch relative to each other.
+func (ctr *shardCtr) snapshot() ShardCounters {
+	return ShardCounters{
+		Reads:        ctr.reads.Load(),
+		Writes:       ctr.writes.Load(),
+		Evicts:       ctr.evicts.Load(),
+		Inserts:      ctr.inserts.Load(),
+		Attempts:     ctr.attempts.Load(),
+		Forced:       ctr.forced.Load(),
+		ForcedBlocks: ctr.forcedBlocks.Load(),
+	}
+}
+
+// reset zeroes the counters.
+func (ctr *shardCtr) reset() {
+	ctr.reads.Store(0)
+	ctr.writes.Store(0)
+	ctr.evicts.Store(0)
+	ctr.inserts.Store(0)
+	ctr.attempts.Store(0)
+	ctr.forced.Store(0)
+	ctr.forcedBlocks.Store(0)
+}
+
 // dirShard pairs one slice with its lock. Shards are individually
-// allocated so neighbouring locks do not share a cache line.
+// allocated so neighbouring locks do not share a cache line; the pad
+// keeps the counter lines a lock-free Counters poller reads off the
+// line the shard's mutex (and owner) is bouncing.
 type dirShard struct {
 	mu  sync.Mutex
 	dir Directory
+	_   [64]byte
+	ctr shardCtr
 }
 
 // NewSharded builds a concurrency-safe directory of shardCount
@@ -213,12 +346,21 @@ func (s *ShardedDirectory) Name() string { return s.name }
 // NumCaches implements Directory.
 func (s *ShardedDirectory) NumCaches() int { return s.numCaches }
 
+// recordOne accumulates a single point operation into sh's counters.
+func recordOne(sh *dirShard, kind AccessKind, op Op) {
+	var c ShardCounters
+	c.observe(kind, op)
+	sh.ctr.flush(c)
+}
+
 // Read implements Directory; it locks only addr's home shard.
 func (s *ShardedDirectory) Read(addr uint64, cache int) Op {
 	sh := s.shards[s.home(addr)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.dir.Read(addr, cache)
+	op := sh.dir.Read(addr, cache)
+	recordOne(sh, AccessRead, op)
+	return op
 }
 
 // Write implements Directory; it locks only addr's home shard.
@@ -226,7 +368,9 @@ func (s *ShardedDirectory) Write(addr uint64, cache int) Op {
 	sh := s.shards[s.home(addr)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.dir.Write(addr, cache)
+	op := sh.dir.Write(addr, cache)
+	recordOne(sh, AccessWrite, op)
+	return op
 }
 
 // Evict implements Directory; it locks only addr's home shard.
@@ -235,6 +379,7 @@ func (s *ShardedDirectory) Evict(addr uint64, cache int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.dir.Evict(addr, cache)
+	recordOne(sh, AccessEvict, Op{})
 }
 
 // Lookup implements Directory; it locks only addr's home shard.
@@ -276,9 +421,12 @@ func (s *ShardedDirectory) Apply(accesses []Access) []Op {
 		sh := s.shards[0]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		var c ShardCounters
 		for i, a := range accesses {
 			ops[i] = applyOne(sh.dir, a)
+			c.observe(a.Kind, ops[i])
 		}
+		sh.ctr.flush(c)
 		return ops
 	}
 	groups := make([][]int32, len(s.shards))
@@ -303,18 +451,24 @@ func (s *ShardedDirectory) Apply(accesses []Access) []Op {
 			defer wg.Done()
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
+			var c ShardCounters
 			for _, i := range idxs {
 				ops[i] = applyOne(sh.dir, accesses[i])
+				c.observe(accesses[i].Kind, ops[i])
 			}
+			sh.ctr.flush(c)
 		}(s.shards[h], idxs)
 	}
 	func() {
 		sh := s.shards[largest]
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		var c ShardCounters
 		for _, i := range groups[largest] {
 			ops[i] = applyOne(sh.dir, accesses[i])
+			c.observe(accesses[i].Kind, ops[i])
 		}
+		sh.ctr.flush(c)
 	}()
 	wg.Wait()
 	return ops
@@ -345,9 +499,11 @@ func (s *ShardedDirectory) ApplyShard(h int, accesses []Access) {
 	sh := s.shards[h]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var c ShardCounters
 	for _, a := range accesses {
-		applyOne(sh.dir, a)
+		c.observe(a.Kind, applyOne(sh.dir, a))
 	}
+	sh.ctr.flush(c)
 }
 
 // applyOne dispatches one access on an already-locked slice.
@@ -380,11 +536,35 @@ func (s *ShardedDirectory) Stats() *Stats {
 	return agg
 }
 
-// ResetStats implements Directory.
+// Counters returns the merged lock-free snapshot of the per-shard
+// operation counters: no shard lock is taken and no shard is stalled,
+// so a monitoring goroutine can poll it at any rate while workers
+// drain batches. See ShardCounters for the consistency contract.
+func (s *ShardedDirectory) Counters() ShardCounters {
+	var total ShardCounters
+	for _, sh := range s.shards {
+		total.add(sh.ctr.snapshot())
+	}
+	return total
+}
+
+// CountersByShard returns each shard's counter snapshot in shard index
+// order, lock-free (the per-shard view of Counters).
+func (s *ShardedDirectory) CountersByShard() []ShardCounters {
+	out := make([]ShardCounters, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.ctr.snapshot()
+	}
+	return out
+}
+
+// ResetStats implements Directory; it also zeroes the lock-free shard
+// counters, keeping both views aligned at the end of a warm-up phase.
 func (s *ShardedDirectory) ResetStats() {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sh.dir.ResetStats()
+		sh.ctr.reset()
 		sh.mu.Unlock()
 	}
 }

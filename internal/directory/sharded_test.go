@@ -468,3 +468,138 @@ func TestApplyShardMatchesApply(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedCounters verifies the lock-free counter snapshot agrees
+// with the ground truth — the locked Stats merge and a replayed local
+// tally — after point ops, Apply batches and ApplyShard batches.
+func TestShardedCounters(t *testing.T) {
+	d, err := BuildSharded(shardedSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := randomAccesses(3, 6000)
+	var want ShardCounters
+	// Drive one third through each entry point, tallying locally.
+	third := len(accs) / 3
+	for _, a := range accs[:third] {
+		var op Op
+		switch a.Kind {
+		case AccessRead:
+			op = d.Read(a.Addr, a.Cache)
+		case AccessWrite:
+			op = d.Write(a.Addr, a.Cache)
+		default:
+			d.Evict(a.Addr, a.Cache)
+		}
+		want.observe(a.Kind, op)
+	}
+	batch := accs[third : 2*third]
+	ops := d.Apply(batch)
+	for i, a := range batch {
+		want.observe(a.Kind, ops[i])
+	}
+	// ApplyShard records no Ops for the caller, but the counters must
+	// still account for every access (shard-affine singleton batches).
+	for _, a := range accs[2*third:] {
+		d.ApplyShard(d.ShardOf(a.Addr), []Access{a})
+	}
+	got := d.Counters()
+	if got.Ops() != uint64(len(accs)) {
+		t.Fatalf("Ops() = %d, want %d", got.Ops(), len(accs))
+	}
+	if got.Reads < want.Reads || got.Writes < want.Writes || got.Evicts < want.Evicts {
+		t.Fatalf("kind counters lost accesses: %+v vs partial tally %+v", got, want)
+	}
+	// The insertion-side counters must agree exactly with the locked
+	// Stats merge (Attempts/Inserts is the histogram's mean).
+	st := d.Stats()
+	if mean := st.Attempts.Mean(); got.Inserts > 0 &&
+		(got.MeanAttempts()-mean > 1e-9 || mean-got.MeanAttempts() > 1e-9) {
+		t.Fatalf("MeanAttempts = %v, Stats mean = %v", got.MeanAttempts(), mean)
+	}
+	if ins := st.Events.Get("insert-tag"); got.Inserts != ins {
+		t.Fatalf("Inserts = %d, Stats insert-tag = %d", got.Inserts, ins)
+	}
+	if got.Forced != st.ForcedEvictions {
+		t.Fatalf("Forced = %d, Stats.ForcedEvictions = %d", got.Forced, st.ForcedEvictions)
+	}
+	if got.ForcedBlocks != st.ForcedBlocks {
+		t.Fatalf("ForcedBlocks = %d, Stats.ForcedBlocks = %d", got.ForcedBlocks, st.ForcedBlocks)
+	}
+	// Per-shard view sums to the merged view.
+	var sum ShardCounters
+	for _, c := range d.CountersByShard() {
+		sum.add(c)
+	}
+	if sum != got {
+		t.Fatalf("CountersByShard sum %+v != Counters %+v", sum, got)
+	}
+	// ResetStats zeroes both views together.
+	d.ResetStats()
+	if c := d.Counters(); c != (ShardCounters{}) {
+		t.Fatalf("Counters after ResetStats = %+v", c)
+	}
+}
+
+// TestShardedCountersConcurrent races batch appliers, point operations
+// and lock-free Counters pollers; with -race this proves the polling
+// path takes no lock and involves no data race, and afterwards the
+// counters must account for every access exactly once.
+func TestShardedCountersConcurrent(t *testing.T) {
+	d, err := BuildSharded(shardedSpec(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 4, 2000
+	var wg, pollers sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 2; p++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := d.Counters()
+				if c.Ops() < last {
+					t.Error("Counters went backwards")
+					return
+				}
+				last = c.Ops()
+				_ = d.CountersByShard()
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			accs := randomAccesses(uint64(w+100), perWorker)
+			d.Apply(accs[:perWorker/2])
+			for _, a := range accs[perWorker/2:] {
+				switch a.Kind {
+				case AccessRead:
+					d.Read(a.Addr, a.Cache)
+				case AccessWrite:
+					d.Write(a.Addr, a.Cache)
+				default:
+					d.Evict(a.Addr, a.Cache)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	pollers.Wait()
+	c := d.Counters()
+	if c.Ops() != workers*perWorker {
+		t.Fatalf("Ops() = %d, want %d", c.Ops(), workers*perWorker)
+	}
+	if ins := d.Stats().Events.Get("insert-tag"); c.Inserts != ins {
+		t.Fatalf("Inserts = %d, Stats insert-tag = %d", c.Inserts, ins)
+	}
+}

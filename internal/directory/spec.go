@@ -253,8 +253,8 @@ func (s Spec) validate(allowUnboundCaches bool) error {
 		if b := s.Tagless.BucketBits; b <= 0 || b&(b-1) != 0 {
 			return fmt.Errorf("directory: spec tagless: BucketBits = %d, need a power of two", b)
 		}
-		if k := s.Tagless.Hashes; k <= 0 || k > 8 {
-			return fmt.Errorf("directory: spec tagless: Hashes = %d, need 1..8", k)
+		if k := s.Tagless.Hashes; k <= 0 || k > hashfn.MaxWays {
+			return fmt.Errorf("directory: spec tagless: Hashes = %d, need 1..%d", k, hashfn.MaxWays)
 		}
 		if err := checkEntryCount(s.Org, s.Geometry.Sets, s.Tagless.BucketBits); err != nil {
 			return err

@@ -39,12 +39,13 @@ type Tagless struct {
 	bucketBits int
 	hashes     int
 	setMask    uint64
-	bitMask    uint64
 	// counters[(cache*sets + set)*bucketBits + bit]
 	counters []uint8
 	shadow   map[uint64]uint64 // addr -> true holder mask
-	hash     hashfn.Family
-	stats    *Stats
+	// ix resolves the k probe-bit hashes in one devirtualized batch
+	// ("way" k is probe k; the bit mask plays the set mask's role).
+	ix    hashfn.Indexer
+	stats *Stats
 	// SpuriousInvalidations counts invalidations sent to caches that did
 	// not hold the block (Bloom false positives).
 	SpuriousInvalidations uint64
@@ -65,8 +66,10 @@ func NewTagless(numCaches, sets, bucketBits, hashes int) *Tagless {
 	if bucketBits <= 0 || bucketBits&(bucketBits-1) != 0 {
 		panic(fmt.Sprintf("directory: bucketBits = %d, need a power of two", bucketBits))
 	}
-	if hashes <= 0 || hashes > 8 {
-		panic(fmt.Sprintf("directory: hashes = %d, need 1..8", hashes))
+	// The bound is hashfn.MaxWays, not a free choice: probeBits batches
+	// all k probes through one Indexer.IndexAll call.
+	if hashes <= 0 || hashes > hashfn.MaxWays {
+		panic(fmt.Sprintf("directory: hashes = %d, need 1..%d", hashes, hashfn.MaxWays))
 	}
 	return &Tagless{
 		numCaches:  numCaches,
@@ -74,10 +77,9 @@ func NewTagless(numCaches, sets, bucketBits, hashes int) *Tagless {
 		bucketBits: bucketBits,
 		hashes:     hashes,
 		setMask:    uint64(sets - 1),
-		bitMask:    uint64(bucketBits - 1),
 		counters:   make([]uint8, numCaches*sets*bucketBits),
 		shadow:     make(map[uint64]uint64),
-		hash:       hashfn.Strong{},
+		ix:         hashfn.NewIndexer(hashfn.Strong{}, hashes, uint64(bucketBits-1)),
 		stats:      core.NewDirStats(1),
 	}
 }
@@ -107,12 +109,10 @@ func (t *Tagless) ResetStats() {
 // set returns the grid row of addr.
 func (t *Tagless) set(addr uint64) uint64 { return addr & t.setMask }
 
-// probeBits returns the k filter bit indexes of addr.
-func (t *Tagless) probeBits(addr uint64, dst []uint64) []uint64 {
-	for k := 0; k < t.hashes; k++ {
-		dst = append(dst, t.hash.Hash(k, addr)&t.bitMask)
-	}
-	return dst
+// probeBits computes the k filter bit indexes of addr in one batched
+// pass (hashes <= 8 == hashfn.MaxWays, enforced by the constructor).
+func (t *Tagless) probeBits(addr uint64, dst *[hashfn.MaxWays]uint64) {
+	t.ix.IndexAll(addr, dst)
 }
 
 // bucketBase returns the counter offset of (cache, set).
@@ -123,9 +123,10 @@ func (t *Tagless) bucketBase(cache int, set uint64) int {
 // filterHas reports whether the (cache, set) filter matches addr.
 func (t *Tagless) filterHas(cache int, addr uint64) bool {
 	base := t.bucketBase(cache, t.set(addr))
-	var buf [8]uint64
-	for _, b := range t.probeBits(addr, buf[:0]) {
-		if t.counters[base+int(b)] == 0 {
+	var buf [hashfn.MaxWays]uint64
+	t.probeBits(addr, &buf)
+	for k := 0; k < t.hashes; k++ {
+		if t.counters[base+int(buf[k])] == 0 {
 			return false
 		}
 	}
@@ -135,24 +136,26 @@ func (t *Tagless) filterHas(cache int, addr uint64) bool {
 // filterAdd inserts addr into the (cache, set) filter.
 func (t *Tagless) filterAdd(cache int, addr uint64) {
 	base := t.bucketBase(cache, t.set(addr))
-	var buf [8]uint64
-	for _, b := range t.probeBits(addr, buf[:0]) {
-		if t.counters[base+int(b)] == 0xff {
+	var buf [hashfn.MaxWays]uint64
+	t.probeBits(addr, &buf)
+	for k := 0; k < t.hashes; k++ {
+		if t.counters[base+int(buf[k])] == 0xff {
 			panic("directory: tagless counter saturated")
 		}
-		t.counters[base+int(b)]++
+		t.counters[base+int(buf[k])]++
 	}
 }
 
 // filterRemove removes addr from the (cache, set) filter.
 func (t *Tagless) filterRemove(cache int, addr uint64) {
 	base := t.bucketBase(cache, t.set(addr))
-	var buf [8]uint64
-	for _, b := range t.probeBits(addr, buf[:0]) {
-		if t.counters[base+int(b)] == 0 {
+	var buf [hashfn.MaxWays]uint64
+	t.probeBits(addr, &buf)
+	for k := 0; k < t.hashes; k++ {
+		if t.counters[base+int(buf[k])] == 0 {
 			panic("directory: tagless counter underflow")
 		}
-		t.counters[base+int(b)]--
+		t.counters[base+int(buf[k])]--
 	}
 }
 

@@ -42,11 +42,13 @@ type Options struct {
 	// Seed makes runs reproducible; the default 0 is a valid seed.
 	Seed uint64
 	// Orgs, when non-empty, overrides the directory-organization lineup
-	// of experiments that sweep organizations (fig12 and latency; others
-	// ignore it). Each entry is a registry name — registered, parametric
-	// "org-WxS", or "sharded-N(...)" — resolved through
-	// internal/directory; the swept lineup is exactly this list, in
-	// order. The CLI populates it from `run -dir a,b,c`.
+	// of experiments that sweep organizations: fig9 (provisioning
+	// factors computed from each org's slice capacity), fig12, formats
+	// (the sharer-format sweep runs over each named unsharded cuckoo
+	// org) and latency; others ignore it. Each entry is a registry name
+	// — registered, parametric "org-WxS", or "sharded-N(...)" —
+	// resolved through internal/directory; the swept lineup is exactly
+	// this list, in order. The CLI populates it from `run -dir a,b,c`.
 	Orgs []string
 }
 

@@ -447,3 +447,64 @@ func TestOrgsOverridePanicsOnUnknown(t *testing.T) {
 	}()
 	orgOverrides(Options{Orgs: []string{"nonsense-1x2"}}, 16)
 }
+
+// TestOrgsOverrideFig9: the -dir override reaches the fig9 provisioning
+// sweep — the lineup is exactly the named organizations, with the
+// provisioning factor derived from each built slice's capacity (and
+// "unbounded" for the ideal reference).
+func TestOrgsOverrideFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, err := ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orgs := []string{"cuckoo-4x1024", "ideal"}
+	ts := e.Run(Options{Scale: Quick, Orgs: orgs})
+	if len(ts) != 2 {
+		t.Fatalf("fig9 tables = %d", len(ts))
+	}
+	for _, tb := range ts {
+		if tb.NumRows() != len(orgs) {
+			t.Fatalf("%s: rows = %d, want %d", tb.Title, tb.NumRows(), len(orgs))
+		}
+		for r, name := range orgs {
+			if tb.Cell(r, 0) != name {
+				t.Errorf("%s: row %d label = %q, want %q", tb.Title, r, tb.Cell(r, 0), name)
+			}
+		}
+		if got := tb.Cell(1, 1); got != "unbounded" {
+			t.Errorf("%s: ideal provisioning cell = %q, want unbounded", tb.Title, got)
+		}
+		if tb.Cell(1, 3) != "0" {
+			t.Errorf("%s: ideal forced invalidations = %q, want 0", tb.Title, tb.Cell(1, 3))
+		}
+	}
+}
+
+// TestOrgsOverrideFormats: the -dir override reaches the sharer-format
+// experiment — the four formats sweep over each named unsharded cuckoo
+// organization; ineligible names are skipped with a note, not run.
+func TestOrgsOverrideFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, err := ByID("formats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := e.Run(Options{Scale: Quick, Orgs: []string{"cuckoo-4x512", "sharded-2(cuckoo-4x512)"}})
+	tb := ts[0]
+	if got := tb.Headers()[0]; got != "Organization" {
+		t.Fatalf("override table leads with %q, want Organization", got)
+	}
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4 (one eligible org x 4 formats)", tb.NumRows())
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		if tb.Cell(r, 0) != "cuckoo-4x512" {
+			t.Errorf("row %d org = %q", r, tb.Cell(r, 0))
+		}
+	}
+}

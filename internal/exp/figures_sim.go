@@ -58,34 +58,73 @@ func fig9Exp() Experiment {
 			var out []*stats.Table
 			for _, kind := range []cmpsim.Kind{cmpsim.SharedL2, cmpsim.PrivateL2} {
 				cfg := cmpsim.DefaultConfig(kind)
-				sizes := cmpsim.SharedL2Sizes()
-				if kind == cmpsim.PrivateL2 {
-					sizes = cmpsim.PrivateL2Sizes()
+				// A sweep point: its row label, provisioning factor cell
+				// (computed from slice capacity for overridden orgs) and
+				// slice factory.
+				type sizePoint struct {
+					label   string
+					prov    string
+					factory cmpsim.DirectoryFactory
 				}
-				if o.Scale == Quick {
-					sizes = []cmpsim.CuckooSize{sizes[1], sizes[2], sizes[4]}
+				var points []sizePoint
+				if over := orgOverrides(o, cfg.NumCaches()); over != nil {
+					// Registry-driven sweep: provision factors come from
+					// each organization's built capacity relative to the
+					// configuration's 1x baseline. Only one unsharded
+					// slice is built for the probe (sharded capacity is
+					// Count x the slice's — no need to allocate the
+					// whole sharded array just to read it).
+					for _, ns := range over {
+						inner := ns.spec
+						shards := inner.Shard.Count
+						inner.Shard = directory.ShardSpec{}
+						c := directory.MustBuild(inner.WithCaches(cfg.NumCaches())).Capacity()
+						if shards > 0 {
+							c *= shards
+						}
+						prov := "unbounded"
+						if c > 0 {
+							prov = fmt.Sprintf("%.3gx", float64(c)/float64(cfg.OneXSliceCapacity()))
+						}
+						points = append(points, sizePoint{ns.name, prov, cmpsim.SpecFactory(ns.spec)})
+					}
+				} else {
+					sizes := cmpsim.SharedL2Sizes()
+					if kind == cmpsim.PrivateL2 {
+						sizes = cmpsim.PrivateL2Sizes()
+					}
+					if o.Scale == Quick {
+						sizes = []cmpsim.CuckooSize{sizes[1], sizes[2], sizes[4]}
+					}
+					for _, size := range sizes {
+						points = append(points, sizePoint{
+							size.String(),
+							fmt.Sprintf("%.3gx", size.Provisioning(cfg)),
+							cmpsim.CuckooFactory(size, nil),
+						})
+					}
 				}
 				t := stats.NewTable(fmt.Sprintf("Figure 9 (%s): Cuckoo sizing sweep", kind),
 					"Size (ways x sets)", "Provisioning", "Avg insertion attempts", "Forced invalidation rate")
 				profs := suiteProfiles(o.Scale)
-				results := parallelMap(len(sizes)*len(profs), func(i int) *core.DirStats {
-					size, prof := sizes[i/len(profs)], profs[i%len(profs)]
-					sys := runSystem(cfg, prof, o, cmpsim.CuckooFactory(size, nil))
+				results := parallelMap(len(points)*len(profs), func(i int) *core.DirStats {
+					pt, prof := points[i/len(profs)], profs[i%len(profs)]
+					sys := runSystem(cfg, prof, o, pt.factory)
 					return sys.DirStats()
 				})
-				xLabels := make([]string, len(sizes))
-				attY := make([]float64, len(sizes))
-				invY := make([]float64, len(sizes))
-				for si, size := range sizes {
+				xLabels := make([]string, len(points))
+				attY := make([]float64, len(points))
+				invY := make([]float64, len(points))
+				for si, pt := range points {
 					agg := core.NewDirStats(core.DefaultMaxAttempts)
 					for pi := range profs {
 						agg.Merge(results[si*len(profs)+pi])
 					}
-					t.AddRow(size.String(),
-						fmt.Sprintf("%.3gx", size.Provisioning(cfg)),
+					t.AddRow(pt.label,
+						pt.prov,
 						fmt.Sprintf("%.2f", agg.Attempts.Mean()),
 						pctCell(agg.InvalidationRate()))
-					xLabels[si] = fmt.Sprintf("%.3gx", size.Provisioning(cfg))
+					xLabels[si] = pt.prov
 					attY[si] = agg.Attempts.Mean()
 					inv := agg.InvalidationRate() * 100
 					if inv == 0 {

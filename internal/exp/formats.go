@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"cuckoodir/internal/cmpsim"
 	"cuckoodir/internal/core"
@@ -35,8 +36,35 @@ func formatsExp() Experiment {
 				sharer.LimitedFormat(4),
 				sharer.HierFormat(),
 			}
-			t := stats.NewTable("Sharer-set formats in a 4x512 Cuckoo directory (Shared-L2, workload apache)",
-				"Format", "Entry bits", "Spurious invalidations", "Spurious/insert", "Dead entries (end)", "Inval rate")
+			// The format sweep's base organization(s): the paper's chosen
+			// 4x512 slice by default, or — under `run -dir` — every named
+			// organization that can carry a sharer format (a plain,
+			// unsharded cuckoo spec without a format of its own).
+			type base struct {
+				name string
+				spec directory.Spec
+			}
+			bases := []base{{"", cuckooSpec(size.Ways, size.Sets)}}
+			var skipped []string
+			overridden := false
+			if over := orgOverrides(o, numCaches); over != nil {
+				overridden = true
+				bases = bases[:0]
+				for _, ns := range over {
+					if ns.spec.Org != directory.OrgCuckoo || ns.spec.Shard.Count > 0 || ns.spec.Format.New != nil {
+						skipped = append(skipped, ns.name)
+						continue
+					}
+					bases = append(bases, base{ns.name, ns.spec})
+				}
+			}
+			headers := []string{"Format", "Entry bits", "Spurious invalidations", "Spurious/insert", "Dead entries (end)", "Inval rate"}
+			title := "Sharer-set formats in a 4x512 Cuckoo directory (Shared-L2, workload apache)"
+			if overridden {
+				headers = append([]string{"Organization"}, headers...)
+				title = "Sharer-set formats swept over -dir organizations (Shared-L2, workload apache)"
+			}
+			t := stats.NewTable(title, headers...)
 			prof, err := workload.ByName("apache")
 			if err != nil {
 				panic(err)
@@ -46,9 +74,9 @@ func formatsExp() Experiment {
 				dead     int
 				ds       *directory.Stats
 			}
-			results := parallelMap(len(formats), func(i int) result {
-				spec := cuckooSpec(size.Ways, size.Sets)
-				spec.Format = formats[i]
+			results := parallelMap(len(bases)*len(formats), func(i int) result {
+				spec := bases[i/len(formats)].spec
+				spec.Format = formats[i%len(formats)]
 				sys := runSystem(cfg, prof, o, cmpsim.SpecFactory(spec))
 				var res result
 				for _, d := range sys.Slices() {
@@ -59,21 +87,34 @@ func formatsExp() Experiment {
 				res.ds = sys.DirStats()
 				return res
 			})
-			for fi, f := range formats {
-				res := results[fi]
-				inserts := res.ds.Events.Get(core.EvInsertTag)
-				perInsert := 0.0
-				if inserts > 0 {
-					perInsert = float64(res.spurious) / float64(inserts)
+			for bi, bs := range bases {
+				for fi, f := range formats {
+					res := results[bi*len(formats)+fi]
+					inserts := res.ds.Events.Get(core.EvInsertTag)
+					perInsert := 0.0
+					if inserts > 0 {
+						perInsert = float64(res.spurious) / float64(inserts)
+					}
+					row := []string{f.Name,
+						fmt.Sprintf("%d", f.BitsFor(numCaches)),
+						fmt.Sprintf("%d", res.spurious),
+						fmt.Sprintf("%.4f", perInsert),
+						fmt.Sprintf("%d", res.dead),
+						pctCell(res.ds.InvalidationRate())}
+					if overridden {
+						row = append([]string{bs.name}, row...)
+					}
+					t.AddRow(row...)
 				}
-				t.AddRow(f.Name,
-					fmt.Sprintf("%d", f.BitsFor(numCaches)),
-					fmt.Sprintf("%d", res.spurious),
-					fmt.Sprintf("%.4f", perInsert),
-					fmt.Sprintf("%d", res.dead),
-					pctCell(res.ds.InvalidationRate()))
 			}
 			t.AddNote("entry bits exclude the tag; hierarchical second-level storage is counted by the energy model")
+			if len(skipped) > 0 {
+				t.AddNote("skipped -dir organizations that cannot carry a sharer format (need a plain unsharded cuckoo spec): %s",
+					strings.Join(skipped, ", "))
+			}
+			if len(bases) == 0 {
+				t.AddNote("no eligible -dir organization: nothing measured")
+			}
 			return []*stats.Table{t}
 		},
 	}

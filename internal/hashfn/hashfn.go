@@ -56,6 +56,11 @@ type Skew struct {
 	// Bits is the index width n. Hash output is meaningful in its low n
 	// bits; callers mask with sets-1 where sets == 1<<Bits.
 	Bits int
+	// n and mask are the resolved width and field mask, precomputed by
+	// NewSkew so Hash does not re-derive them per call. Skews built as
+	// struct literals leave them zero and resolve lazily in Hash.
+	n    int
+	mask uint64
 }
 
 // NewSkew returns the skewing family for a structure with the given number
@@ -64,18 +69,27 @@ func NewSkew(indexBits int) Skew {
 	if indexBits <= 0 || indexBits > 32 {
 		panic("hashfn: NewSkew index bits out of range")
 	}
-	return Skew{Bits: indexBits}
+	n, mask := skewWidth(indexBits)
+	return Skew{Bits: indexBits, n: n, mask: mask}
+}
+
+// skewWidth resolves a Bits field into the effective index width and
+// field mask (zero-value Skews default to 16 bits).
+func skewWidth(bits int) (n int, mask uint64) {
+	n = bits
+	if n <= 0 {
+		n = 16
+	}
+	return n, uint64(1)<<uint(n) - 1
 }
 
 // Name implements Family.
 func (Skew) Name() string { return "skew" }
 
-// rotN rotates the low n bits of x left by k (mod n), leaving bits above n
-// cleared.
-func rotN(x uint64, k, n int) uint64 {
-	mask := uint64(1)<<uint(n) - 1
-	x &= mask
-	k %= n
+// rotN rotates the low n bits of x left by k. x must already be confined
+// to its low n bits and k reduced to [0, n) — callers hoist the reduction
+// out of their loops (see Skew.Hash, Indexer).
+func rotN(x uint64, k, n int, mask uint64) uint64 {
 	if k == 0 {
 		return x
 	}
@@ -84,19 +98,27 @@ func rotN(x uint64, k, n int) uint64 {
 
 // Hash implements Family.
 func (s Skew) Hash(way int, key uint64) uint64 {
-	n := s.Bits
-	if n <= 0 {
-		n = 16
+	n, mask := s.n, s.mask
+	if n == 0 {
+		n, mask = skewWidth(s.Bits)
 	}
-	mask := uint64(1)<<uint(n) - 1
 	a1 := key & mask
+	a2 := skewFold(key, n, mask)
+	return rotN(a1, way%n, n, mask) ^ rotN(a2, (3*way)%n, n, mask)
+}
+
+// skewFold returns A2': the second index field of key with every
+// remaining upper field folded in under distinct rotations. It depends
+// only on (key, n), not the way, so batch indexing computes it once for
+// all ways (Indexer.IndexAll).
+func skewFold(key uint64, n int, mask uint64) uint64 {
 	a2 := (key >> uint(n)) & mask
 	rest := key >> uint(2*n)
 	for r := 1; rest != 0; r += 3 {
-		a2 ^= rotN(rest&mask, r, n)
+		a2 ^= rotN(rest&mask, r%n, n, mask)
 		rest >>= uint(n)
 	}
-	return rotN(a1, way, n) ^ rotN(a2, 3*way, n)
+	return a2
 }
 
 // Strong is an avalanche-grade mixer family standing in for the paper's
@@ -115,7 +137,11 @@ const (
 )
 
 // Hash implements Family.
-func (Strong) Hash(way int, key uint64) uint64 {
+func (Strong) Hash(way int, key uint64) uint64 { return strongHash(way, key) }
+
+// strongHash is the Strong mixer, shared with the devirtualized Indexer
+// so both paths are bit-identical by construction.
+func strongHash(way int, key uint64) uint64 {
 	z := key + golden*uint64(way+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

@@ -1,0 +1,153 @@
+// The devirtualized set-index pipeline. A Family is the right interface
+// for describing a hash family, but an interface call per way per probe
+// is the wrong cost model for a structure the paper argues is cheap
+// enough to sit on every directory access (§4.1, §5.5). An Indexer is
+// resolved ONCE from a Family at table construction: the three built-in
+// families are recognized and dispatched through a concrete switch with
+// their masks and per-way rotation constants precomputed, and unknown
+// families keep working through the interface as a fallback. The batch
+// form (IndexAll) additionally shares the per-key work — the skewing
+// family's upper-field fold — across all ways, which the per-way
+// interface cannot.
+
+package hashfn
+
+// MaxWays is the widest way batch IndexAll computes in one pass — the
+// paper evaluates 2..8 ways (§5.2). Index serves any way count; tables
+// wider than MaxWays fall back to per-way indexing.
+const MaxWays = 8
+
+// ixKind discriminates the specialized index pipelines.
+type ixKind uint8
+
+const (
+	ixFamily ixKind = iota // unknown family: interface dispatch
+	ixSkew
+	ixStrong
+	ixXorFold
+)
+
+// Indexer maps (way, key) to a set index exactly as Index(f, way, key,
+// setMask) would, without the per-call interface dispatch and setup.
+// Resolve one with NewIndexer when the structure is built and keep it by
+// value; the zero Indexer is not usable. Indexers are stateless after
+// construction and safe for concurrent use.
+type Indexer struct {
+	kind ixKind
+	ways int
+	mask uint64 // set mask (sets-1), applied to every index
+	// Skew precomputation: resolved field width/mask and the per-way
+	// rotation amounts, reduced mod n at construction.
+	n     int
+	nmask uint64
+	rotA  [MaxWays]int // sigma^way, reduced
+	rotB  [MaxWays]int // sigma^(3*way), reduced
+	fam   Family       // the source family (fallback dispatch, Name)
+}
+
+// NewIndexer resolves f into a fast index pipeline for a structure with
+// the given way count and set mask (sets-1, sets a power of two).
+func NewIndexer(f Family, ways int, setMask uint64) Indexer {
+	if f == nil {
+		panic("hashfn: NewIndexer: nil family")
+	}
+	if ways < 1 {
+		panic("hashfn: NewIndexer: ways must be >= 1")
+	}
+	ix := Indexer{kind: ixFamily, ways: ways, mask: setMask, fam: f}
+	switch s := f.(type) {
+	case Skew:
+		ix.kind = ixSkew
+		ix.n, ix.nmask = s.n, s.mask
+		if ix.n == 0 {
+			ix.n, ix.nmask = skewWidth(s.Bits)
+		}
+		for w := 0; w < MaxWays; w++ {
+			ix.rotA[w] = w % ix.n
+			ix.rotB[w] = (3 * w) % ix.n
+		}
+	case Strong:
+		ix.kind = ixStrong
+	case XorFold:
+		ix.kind = ixXorFold
+	}
+	return ix
+}
+
+// Family returns the family the indexer was resolved from.
+func (ix *Indexer) Family() Family { return ix.fam }
+
+// Ways returns the way count the indexer was built for.
+func (ix *Indexer) Ways() int { return ix.ways }
+
+// Batched reports whether IndexAll covers every way in one call
+// (ways <= MaxWays).
+func (ix *Indexer) Batched() bool { return ix.ways <= MaxWays }
+
+// Index returns the set index of key in the given way — bit-identical
+// to Index(Family(), way, key, setMask) for every way, including ways
+// beyond MaxWays.
+func (ix *Indexer) Index(way int, key uint64) uint64 {
+	switch ix.kind {
+	case ixSkew:
+		n, nmask := ix.n, ix.nmask
+		a1 := key & nmask
+		a2 := skewFold(key, n, nmask)
+		var rA, rB int
+		if way < MaxWays {
+			rA, rB = ix.rotA[way], ix.rotB[way]
+		} else {
+			rA, rB = way%n, (3*way)%n
+		}
+		return (rotN(a1, rA, n, nmask) ^ rotN(a2, rB, n, nmask)) & ix.mask
+	case ixStrong:
+		return strongHash(way, key) & ix.mask
+	case ixXorFold:
+		return key & ix.mask
+	default:
+		return ix.fam.Hash(way, key) & ix.mask
+	}
+}
+
+// Opaque wraps a family so NewIndexer cannot recognize its concrete
+// type, forcing the interface-dispatch fallback. It is the reference
+// path the differential tests and the pre-/post-devirtualization
+// benchmarks compare the specialized pipelines against.
+func Opaque(f Family) Family { return opaque{f} }
+
+type opaque struct{ f Family }
+
+// Name implements Family.
+func (o opaque) Name() string { return o.f.Name() }
+
+// Hash implements Family.
+func (o opaque) Hash(way int, key uint64) uint64 { return o.f.Hash(way, key) }
+
+// IndexAll computes key's set index in every way in one pass, writing
+// way w's index to dst[w]. Per-key work that the per-way interface
+// repeats — the skewing family's field extraction and upper-field fold —
+// happens once. Only valid when Batched() (ways <= MaxWays).
+func (ix *Indexer) IndexAll(key uint64, dst *[MaxWays]uint64) {
+	switch ix.kind {
+	case ixSkew:
+		n, nmask := ix.n, ix.nmask
+		a1 := key & nmask
+		a2 := skewFold(key, n, nmask)
+		for w := 0; w < ix.ways; w++ {
+			dst[w] = (rotN(a1, ix.rotA[w], n, nmask) ^ rotN(a2, ix.rotB[w], n, nmask)) & ix.mask
+		}
+	case ixStrong:
+		for w := 0; w < ix.ways; w++ {
+			dst[w] = strongHash(w, key) & ix.mask
+		}
+	case ixXorFold:
+		v := key & ix.mask
+		for w := 0; w < ix.ways; w++ {
+			dst[w] = v
+		}
+	default:
+		for w := 0; w < ix.ways; w++ {
+			dst[w] = ix.fam.Hash(w, key) & ix.mask
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package hashfn
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys yields a deterministic mixed key set: small sequential keys
+// (exercising the skew fold's early exit), keys with high bits set
+// (exercising the fold loop), and splitmix-scrambled keys.
+func testKeys(n int) []uint64 {
+	keys := make([]uint64, 0, 3*n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, uint64(i))
+		keys = append(keys, uint64(i)<<37|uint64(i))
+		keys = append(keys, strongHash(0, uint64(i)*0x9e3779b97f4a7c15))
+	}
+	return keys
+}
+
+// TestIndexerBitIdentical is the satellite property test: for every
+// family — the three built-ins (at several widths, including zero-value
+// and literal Skews) plus an opaque wrapper forcing the interface
+// fallback — the resolved Indexer produces bit-identical set indices to
+// the Family interface path, via both Index and IndexAll, across way
+// counts on both sides of MaxWays.
+func TestIndexerBitIdentical(t *testing.T) {
+	families := []Family{
+		NewSkew(1), NewSkew(5), NewSkew(12), NewSkew(16), NewSkew(32),
+		Skew{}, Skew{Bits: 9}, Skew{Bits: 40},
+		Strong{}, XorFold{}, Opaque(NewSkew(10)), Opaque(Strong{}),
+	}
+	keys := testKeys(200)
+	for _, f := range families {
+		for _, ways := range []int{1, 2, 3, 4, 8, 11} {
+			for _, sets := range []int{2, 512, 1 << 16} {
+				mask := uint64(sets - 1)
+				ix := NewIndexer(f, ways, mask)
+				if got := ix.Family().Name(); got != f.Name() {
+					t.Fatalf("Family().Name() = %q, want %q", got, f.Name())
+				}
+				if ix.Batched() != (ways <= MaxWays) {
+					t.Fatalf("%s/%d ways: Batched() = %v", f.Name(), ways, ix.Batched())
+				}
+				var all [MaxWays]uint64
+				for _, key := range keys {
+					if ix.Batched() {
+						ix.IndexAll(key, &all)
+					}
+					for w := 0; w < ways; w++ {
+						want := Index(f, w, key, mask)
+						if got := ix.Index(w, key); got != want {
+							t.Fatalf("%s ways=%d sets=%d: Index(%d, %#x) = %#x, want %#x",
+								f.Name(), ways, sets, w, key, got, want)
+						}
+						if ix.Batched() && all[w] != want {
+							t.Fatalf("%s ways=%d sets=%d: IndexAll(%#x)[%d] = %#x, want %#x",
+								f.Name(), ways, sets, key, w, all[w], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexerHighWays checks the skew path beyond the precomputed
+// rotation tables (ways > MaxWays computes rotations on the fly).
+func TestIndexerHighWays(t *testing.T) {
+	f := NewSkew(7)
+	ix := NewIndexer(f, 16, 127)
+	for way := MaxWays; way < 16; way++ {
+		for _, key := range testKeys(50) {
+			if got, want := ix.Index(way, key), Index(f, way, key, 127); got != want {
+				t.Fatalf("way %d key %#x: %#x != %#x", way, key, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexerPanics pins the constructor's input validation.
+func TestIndexerPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil family", func() { NewIndexer(nil, 4, 511) })
+	mustPanic("zero ways", func() { NewIndexer(Strong{}, 0, 511) })
+}
+
+// TestSkewPrecompute verifies NewSkew's precomputed width/mask agree
+// with the lazy zero-value resolution (the satellite fix: the fallback
+// is resolved once, not re-derived per Hash).
+func TestSkewPrecompute(t *testing.T) {
+	for _, bits := range []int{1, 8, 16, 32} {
+		s := NewSkew(bits)
+		lit := Skew{Bits: bits}
+		for _, key := range testKeys(100) {
+			for w := 0; w < 6; w++ {
+				if s.Hash(w, key) != lit.Hash(w, key) {
+					t.Fatalf("bits=%d way=%d key=%#x: NewSkew and literal Skew disagree", bits, w, key)
+				}
+			}
+		}
+	}
+	// The zero value still defaults to 16 bits.
+	var zero Skew
+	if zero.Hash(1, 42) != (Skew{Bits: 16}).Hash(1, 42) {
+		t.Fatal("zero-value Skew does not match Bits:16")
+	}
+}
+
+func ExampleIndexer() {
+	ix := NewIndexer(NewSkew(9), 4, 511)
+	var idx [MaxWays]uint64
+	ix.IndexAll(0xdeadbeef, &idx)
+	for w := 0; w < 4; w++ {
+		fmt.Println(idx[w] == ix.Index(w, 0xdeadbeef))
+	}
+	// Output:
+	// true
+	// true
+	// true
+	// true
+}

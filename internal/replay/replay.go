@@ -119,6 +119,10 @@ type Result struct {
 	BatchSize int
 	// Stats is the merged directory statistics snapshot after the run.
 	Stats *directory.Stats
+	// Counters is the lock-free per-shard counter snapshot after the
+	// run (directory.ShardCounters): unlike Stats it can also be polled
+	// DURING a run via dir.Counters() without stalling any shard.
+	Counters directory.ShardCounters
 	// ShardLens is each shard's tracked-block count after the run;
 	// Capacity the aggregate entry-slot capacity (0 when unbounded).
 	ShardLens []int
@@ -263,6 +267,7 @@ func Run(dir *directory.ShardedDirectory, src Source, o Options) (Result, error)
 	wg.Wait()
 
 	res.Elapsed = time.Since(start)
+	res.Counters = dir.Counters()
 	res.Stats = dir.Stats()
 	res.ShardLens = dir.ShardLens()
 	res.Capacity = dir.Capacity()
