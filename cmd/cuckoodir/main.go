@@ -34,6 +34,7 @@ import (
 	"cuckoodir/internal/bench"
 	"cuckoodir/internal/cmpsim"
 	"cuckoodir/internal/directory"
+	"cuckoodir/internal/engine"
 	"cuckoodir/internal/exp"
 	"cuckoodir/internal/replay"
 	"cuckoodir/internal/trace"
@@ -235,6 +236,14 @@ func benchCmd(args []string) error {
 			fmt.Printf("%s speedup vs interface dispatch (occ=70): %.2fx\n", op, iface.NsPerOp/fast.NsPerOp)
 		}
 	}
+	// The engine A/B headline: asynchronous submission vs the direct
+	// ApplyShard pipeline on the same single-producer stream.
+	direct, okD := run.Results["replay/shards=8/workers=1"]
+	eng, okE := run.Results["replay/engine/shards=8/producers=1"]
+	if okD && okE && direct.AccPerSec > 0 {
+		fmt.Printf("engine replay throughput vs direct ApplyShard (1 producer): %.0f%%\n",
+			eng.AccPerSec/direct.AccPerSec*100)
+	}
 	if !*jsonOut {
 		return nil
 	}
@@ -263,12 +272,18 @@ func traceCmd(args []string) error {
 	seed := fs.Uint64("seed", 0, "capture seed")
 	kind := fs.String("config", "shared", "replay configuration: shared or private")
 	dir := fs.String("dir", "", "directory organization to replay against (see `orgs`; default: the chosen cuckoo size)")
-	workers := fs.Int("workers", 0, "parallel replay worker goroutines (0 = GOMAXPROCS when the parallel path is selected by -shards/-batch/-home/a sharded -dir, else sequential replay)")
+	workers := fs.Int("workers", 0, "parallel replay worker goroutines (0 = GOMAXPROCS when the parallel path is selected by -shards/-batch/-home/-engine/a sharded -dir, else sequential replay)")
 	shards := fs.Int("shards", 0, "shard count for parallel replay (0 = from the -dir name, or the effective worker count rounded up to a power of two, minimum 2)")
 	batch := fs.Int("batch", 0, fmt.Sprintf("records per batch in parallel replay (0 = %d; setting it selects the parallel path)", replay.DefaultBatchSize))
 	homeFlag := fs.String("home", "", "shard home function for parallel replay: mix or interleave (default: from the -dir name, else mix)")
+	engineFlag := fs.Bool("engine", false, "submit through the asynchronous DirectoryEngine instead of the direct ApplyShard pipeline (selects the parallel path)")
+	queue := fs.Int("queue", 0, fmt.Sprintf("engine queue depth per drainer, in requests (with -engine; 0 = %d)", engine.DefaultQueueDepth))
+	drainers := fs.Int("drainers", 0, "engine drainer goroutines (with -engine; 0 = one per shard)")
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if (*queue != 0 || *drainers != 0) && !*engineFlag {
+		return fmt.Errorf("trace: -queue/-drainers need -engine")
 	}
 	if *file == "" {
 		return fmt.Errorf("trace: -file is required")
@@ -315,8 +330,9 @@ func traceCmd(args []string) error {
 		if !ok {
 			return fmt.Errorf("trace: unknown -dir %q (see `cuckoodir orgs`)", dirName)
 		}
-		if *workers > 0 || *shards > 0 || *batch > 0 || *homeFlag != "" || spec.Shard.Count > 0 {
-			return replayParallel(rd, spec, *workers, *shards, *batch, *homeFlag)
+		if *workers > 0 || *shards > 0 || *batch > 0 || *homeFlag != "" || *engineFlag || spec.Shard.Count > 0 {
+			return replayParallel(rd, spec, *workers, *shards, *batch, *homeFlag,
+				*engineFlag, *queue, *drainers)
 		}
 		prof, err := workload.ByName(*wl)
 		if err != nil {
@@ -342,8 +358,12 @@ func traceCmd(args []string) error {
 // replayParallel is the batched multi-worker replay path of `trace
 // replay`: the trace drives a concurrency-safe ShardedDirectory through
 // internal/replay instead of the sequential functional simulator. It is
-// selected by any of -workers, -shards, -home, or a sharded -dir name.
-func replayParallel(rd *trace.Reader, spec directory.Spec, workers, shards, batch int, homeName string) error {
+// selected by any of -workers, -shards, -home, -engine, or a sharded
+// -dir name. With -engine the records are submitted asynchronously
+// through a DirectoryEngine (-queue/-drainers size it) instead of the
+// direct ApplyShard worker pool.
+func replayParallel(rd *trace.Reader, spec directory.Spec, workers, shards, batch int, homeName string,
+	useEngine bool, queueDepth, drainers int) error {
 	// Resolve the effective worker count first: the pipeline defaults
 	// -workers 0 to GOMAXPROCS, and the shard default must match what
 	// will actually run (a `-home` comparison on a 1-shard directory
@@ -376,7 +396,12 @@ func replayParallel(rd *trace.Reader, spec directory.Spec, workers, shards, batc
 		return fmt.Errorf("trace: -dir %s: %w", spec, err)
 	}
 	sd := d.(*directory.ShardedDirectory)
-	res, err := replay.ReplayTrace(sd, rd, replay.Options{Workers: workers, BatchSize: batch})
+	opts := replay.Options{Workers: workers, BatchSize: batch}
+	if useEngine {
+		opts.Via = replay.ViaEngine
+		opts.Engine = engine.Options{QueueDepth: queueDepth, Drainers: drainers}
+	}
+	res, err := replay.ReplayTrace(sd, rd, opts)
 	if err != nil {
 		return err
 	}
@@ -407,9 +432,13 @@ func usage() {
   cuckoodir trace record -file F [-workload W] [-n N] [-seed S]
   cuckoodir trace replay -file F [-config shared|private] [-workload W] [-dir ORG]
   cuckoodir trace replay -file F -dir ORG [-workers N] [-shards N] [-batch N] [-home mix|interleave]
+                         [-engine [-queue N] [-drainers N]]
                                   parallel batched replay through a sharded
-                                  directory (selected by -workers/-shards/-batch/-home
-                                  or a sharded -dir name like "sharded-8(cuckoo-4x1024)")
+                                  directory (selected by -workers/-shards/-batch/-home/-engine
+                                  or a sharded -dir name like "sharded-8(cuckoo-4x1024)");
+                                  -engine submits through the asynchronous
+                                  DirectoryEngine instead of the direct
+                                  ApplyShard worker pool
 
 flags (run/all):
   -scale quick|full   measurement scale (default quick)

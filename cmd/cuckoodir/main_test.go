@@ -108,6 +108,17 @@ func TestTraceRoundTripCLI(t *testing.T) {
 	if err := run([]string{"trace", "replay", "-file", file, "-dir", "cuckoo-4x512", "-home", "north"}); err == nil {
 		t.Error("bad -home accepted")
 	}
+	// The asynchronous engine path, with and without knobs.
+	if err := run([]string{"trace", "replay", "-file", file, "-dir", "sharded-4(cuckoo-4x512)", "-engine"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "replay", "-file", file, "-dir", "cuckoo-4x512", "-engine",
+		"-shards", "4", "-queue", "64", "-drainers", "2", "-batch", "128"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "replay", "-file", file, "-dir", "cuckoo-4x512", "-queue", "64"}); err == nil {
+		t.Error("-queue without -engine accepted")
+	}
 }
 
 // TestBenchCommand exercises `bench` end to end on a single fast case:

@@ -18,9 +18,14 @@
 //     set, "sharded-8(cuckoo-4x512)" in the registry grammar) wraps any
 //     Spec in a ShardedDirectory, an address-interleaved, mutex-per-shard
 //     array of slices that is safe for concurrent use, offers a batched
-//     Apply path, and has a pluggable shard-home function. The parallel
-//     replay pipeline (ReplayTraceParallel, `cuckoodir trace replay
-//     -workers N`) measures its throughput from recorded traces.
+//     Apply path, and has a pluggable shard-home function. NewEngine puts
+//     an asynchronous submission front-end over it — bounded per-shard
+//     request queues drained by dedicated goroutines, with Tickets,
+//     callbacks, Flush and backpressure — so clients queue directory work
+//     instead of blocking in it. The parallel replay pipeline
+//     (ReplayTraceParallel, `cuckoodir trace replay -workers N`, or
+//     `-engine` for the asynchronous path) measures both from recorded
+//     traces.
 //   - The evaluation platform: a functional 16-core tiled-CMP simulator
 //     (NewSystem) with the paper's Shared-L2 and Private-L2
 //     configurations and Table 2's workload suite (Workloads), plus an
@@ -42,6 +47,7 @@ import (
 	"cuckoodir/internal/coherence"
 	"cuckoodir/internal/core"
 	"cuckoodir/internal/directory"
+	"cuckoodir/internal/engine"
 	"cuckoodir/internal/exp"
 	"cuckoodir/internal/replay"
 	"cuckoodir/internal/sharer"
@@ -185,6 +191,57 @@ func BuildSharded(s Spec, shardCount int) (*ShardedDirectory, error) {
 // factory (for heterogeneous or pre-built shards).
 func NewSharded(shardCount int, build func(shard int) Directory) (*ShardedDirectory, error) {
 	return directory.NewSharded(shardCount, build)
+}
+
+// ---- asynchronous submission engine ----
+
+// Engine is the asynchronous submission front-end of a
+// ShardedDirectory: per-shard drainer goroutines over bounded request
+// queues — clients Submit directory work and collect results via
+// Tickets (or callbacks) instead of blocking in ApplyShard themselves.
+// Per-shard submissions complete in submission order; see
+// internal/engine for queue semantics, ordering and backpressure.
+type Engine = engine.Engine
+
+// EngineOptions parameterize an Engine (drainer count, queue depth,
+// backpressure policy); the zero value is usable.
+type EngineOptions = engine.Options
+
+// Ticket is a pollable completion handle for an engine submission,
+// carrying the per-access Ops once done.
+type Ticket = engine.Ticket
+
+// EngineStats is a snapshot of an engine's submission counters.
+type EngineStats = engine.Stats
+
+// EnginePolicy selects the backpressure behaviour of a full engine
+// queue.
+type EnginePolicy = engine.Policy
+
+// Engine backpressure policies.
+const (
+	// BlockWhenFull (the default) blocks the submitter until queue space
+	// frees, honoring context cancellation.
+	BlockWhenFull = engine.BlockWhenFull
+	// RejectWhenFull fails the submission with ErrEngineQueueFull
+	// without enqueueing anything.
+	RejectWhenFull = engine.RejectWhenFull
+)
+
+// Engine submission errors.
+var (
+	// ErrEngineClosed reports a submission to a closed engine.
+	ErrEngineClosed = engine.ErrClosed
+	// ErrEngineQueueFull reports a rejected submission under
+	// RejectWhenFull.
+	ErrEngineQueueFull = engine.ErrQueueFull
+)
+
+// NewEngine builds an asynchronous submission engine over dir and
+// starts its drainers; Close it when done (the directory itself stays
+// usable).
+func NewEngine(dir *ShardedDirectory, o EngineOptions) (*Engine, error) {
+	return engine.New(dir, o)
 }
 
 // ---- cuckoo hash table ----
@@ -481,12 +538,24 @@ func ReplayTrace(r *TraceReader, sys *System) (uint64, error) {
 // ---- parallel replay pipeline ----
 
 // ReplayOptions parameterize the parallel replay pipeline (worker count,
-// batch size); the zero value is usable.
+// batch size, submission path); the zero value is usable.
 type ReplayOptions = replay.Options
 
 // ReplayResult reports a parallel replay run: throughput, per-shard
-// occupancy and the merged directory statistics.
+// occupancy, dropped-record count and the merged directory statistics.
 type ReplayResult = replay.Result
+
+// ReplayVia selects the replay pipeline's submission path.
+type ReplayVia = replay.Via
+
+// Replay submission paths.
+const (
+	// ReplayViaApplyShard is the direct worker-pool pipeline — the named
+	// baseline engine runs are compared against.
+	ReplayViaApplyShard = replay.ViaApplyShard
+	// ReplayViaEngine submits through an asynchronous Engine.
+	ReplayViaEngine = replay.ViaEngine
+)
 
 // ReplayTraceParallel replays a recorded trace through a sharded
 // directory with batched worker goroutines (ShardedDirectory.Apply) and

@@ -1,9 +1,78 @@
 package cuckoodir
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
+
+// TestPublicEngine drives the asynchronous submission engine through
+// the facade: tickets, batch submission, replay via the engine path,
+// flush, close, and the exported errors.
+func TestPublicEngine(t *testing.T) {
+	dir, err := BuildSharded(Spec{
+		Org:       OrgCuckoo,
+		NumCaches: 16,
+		Geometry:  Geometry{Ways: 4, Sets: 128},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(dir, EngineOptions{QueueDepth: 32, Policy: BlockWhenFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tk, err := eng.Submit(ctx, Access{Kind: AccessRead, Addr: 0x40, Cache: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Op().Attempts == 0 {
+		t.Fatal("read fill allocated no entry")
+	}
+	btk, err := eng.SubmitBatch(ctx, []Access{
+		{Kind: AccessRead, Addr: 0x40, Cache: 9},
+		{Kind: AccessWrite, Addr: 0x40, Cache: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := btk.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ops := btk.Ops(); len(ops) != 2 || ops[1].Invalidate != 1<<9 {
+		t.Fatalf("batch ops = %+v", ops)
+	}
+	if err := eng.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CompletedAccesses != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Submit(ctx, Access{}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+
+	// The replay pipeline's engine path through the facade.
+	res, err := ReplayWorkloadParallel(dir, Workloads()[0], 16, 1, 5000,
+		ReplayOptions{Via: ReplayViaEngine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 5000 || res.Via != ReplayViaEngine {
+		t.Fatalf("engine replay result: %+v", res)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("clean replay dropped %d", res.Dropped)
+	}
+}
 
 func TestPublicCuckooDirectory(t *testing.T) {
 	dir := NewCuckooDirectory(CuckooConfig{Ways: 4, SetsPerWay: 64}, 16)

@@ -7,7 +7,8 @@
 // paper's figures: a FIXED set of named benchmark cases (table
 // find/insert/delete at swept occupancies for each hash family,
 // including the pre-devirtualization interface-dispatch path as a
-// baseline, plus sharded replay at swept worker/shard counts) whose
+// baseline, plus sharded replay at swept worker/shard counts and the
+// engine-vs-ApplyShard submission A/B at swept producer counts) whose
 // results append to a stable, diffable JSON file, one labeled run per
 // PR. Future PRs extend the trajectory instead of re-measuring ad hoc.
 //
@@ -192,6 +193,19 @@ const (
 	replayCores    = 16
 )
 
+// benchDir builds the replay cases' sharded cuckoo directory.
+func benchDir(b *testing.B, shards int) *directory.ShardedDirectory {
+	d, err := directory.BuildSharded(directory.Spec{
+		Org:       directory.OrgCuckoo,
+		NumCaches: replayCores,
+		Geometry:  directory.Geometry{Ways: 4, Sets: 8192},
+	}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
 func replayCase(shards, workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		prof, err := workload.ByName("oracle")
@@ -200,14 +214,7 @@ func replayCase(shards, workers int) func(b *testing.B) {
 		}
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			d, err := directory.BuildSharded(directory.Spec{
-				Org:       directory.OrgCuckoo,
-				NumCaches: replayCores,
-				Geometry:  directory.Geometry{Ways: 4, Sets: 8192},
-			}, shards)
-			if err != nil {
-				b.Fatal(err)
-			}
+			d := benchDir(b, shards)
 			b.StartTimer()
 			res, err := replay.ReplayWorkload(d, prof, replayCores, 11, replayAccesses,
 				replay.Options{Workers: workers, BatchSize: 256})
@@ -219,6 +226,46 @@ func replayCase(shards, workers int) func(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(replayAccesses)*float64(b.N)/b.Elapsed().Seconds(), "acc/s")
+	}
+}
+
+// engineReplayCase is the engine-vs-ApplyShard A/B counterpart of
+// replayCase: the same synthesized workload submitted through the
+// asynchronous DirectoryEngine. producers == 1 replays the identical
+// single-producer stream (compare against replay/shards=N/workers=1,
+// the direct baseline — the acceptance bar is within 20% of it);
+// producers > 1 splits the access budget over concurrent submitters,
+// the scaling shape the direct pipeline's serial producer cannot
+// express (visible on multi-core hosts; a 1-CPU box serializes it).
+func engineReplayCase(shards, producers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		prof, err := workload.ByName("oracle")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := benchDir(b, shards)
+			b.StartTimer()
+			opts := replay.Options{BatchSize: 256, Via: replay.ViaEngine}
+			var res replay.Result
+			if producers == 1 {
+				res, err = replay.ReplayWorkload(d, prof, replayCores, 11, replayAccesses, opts)
+			} else {
+				srcs := make([]replay.Source, producers)
+				for p := range srcs {
+					srcs[p] = replay.Synthesize(prof, replayCores, 11+uint64(p), replayAccesses/producers)
+				}
+				res, err = replay.RunMulti(d, srcs, opts)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if want := uint64(replayAccesses / producers * producers); res.Accesses != want {
+				b.Fatalf("replayed %d accesses, want %d", res.Accesses, want)
+			}
+		}
+		b.ReportMetric(float64(replayAccesses/producers*producers)*float64(b.N)/b.Elapsed().Seconds(), "acc/s")
 	}
 }
 
@@ -246,6 +293,14 @@ func Cases() []Case {
 		cases = append(cases, Case{
 			Name:  fmt.Sprintf("replay/shards=%d/workers=%d", sw.shards, sw.workers),
 			Bench: replayCase(sw.shards, sw.workers),
+		})
+	}
+	for _, sw := range []struct{ shards, producers int }{
+		{8, 1}, {8, 4},
+	} {
+		cases = append(cases, Case{
+			Name:  fmt.Sprintf("replay/engine/shards=%d/producers=%d", sw.shards, sw.producers),
+			Bench: engineReplayCase(sw.shards, sw.producers),
 		})
 	}
 	return cases

@@ -52,6 +52,8 @@ func TestCasesFixed(t *testing.T) {
 		"table/insert/iface/occ=70",
 		"table/delete/strong/occ=50",
 		"replay/shards=8/workers=4",
+		"replay/engine/shards=8/producers=1",
+		"replay/engine/shards=8/producers=4",
 	} {
 		if !seen[want] {
 			t.Fatalf("case %q missing from the fixed set", want)

@@ -1,0 +1,175 @@
+package coherence
+
+import (
+	"testing"
+
+	"cuckoodir/internal/cache"
+)
+
+// runMode builds and runs one system in the given drain mode.
+func runMode(cfg Config, seed uint64, f Factory, mode DrainMode, n uint64) *System {
+	cfg.Drain = mode
+	sys := New(cfg, testProfile(), seed, f)
+	sys.Run(n)
+	sys.Drain()
+	return sys
+}
+
+// stateOf flattens the functionally-visible simulation state: every
+// cache's (addr, state) set and every directory slice's (addr, sharers)
+// set.
+type simState struct {
+	caches []map[uint64]cache.State
+	dirs   []map[uint64]uint64
+	owned  []map[uint64]int
+}
+
+func captureState(sys *System) simState {
+	st := simState{}
+	for _, c := range sys.caches {
+		m := map[uint64]cache.State{}
+		c.ForEach(func(addr uint64, s cache.State) bool { m[addr] = s; return true })
+		st.caches = append(st.caches, m)
+	}
+	for _, d := range sys.dirs {
+		m := map[uint64]uint64{}
+		d.dir.ForEach(func(addr, sharers uint64) bool { m[addr] = sharers; return true })
+		st.dirs = append(st.dirs, m)
+		o := map[uint64]int{}
+		for addr, owner := range d.owned {
+			o[addr] = owner
+		}
+		st.owned = append(st.owned, o)
+	}
+	return st
+}
+
+func diffState(t *testing.T, got, want simState) {
+	t.Helper()
+	for i := range want.caches {
+		if len(got.caches[i]) != len(want.caches[i]) {
+			t.Fatalf("cache %d: %d blocks vs %d", i, len(got.caches[i]), len(want.caches[i]))
+		}
+		for addr, s := range want.caches[i] {
+			if g, ok := got.caches[i][addr]; !ok || g != s {
+				t.Fatalf("cache %d addr %#x: state %v (present=%v), want %v", i, addr, g, ok, s)
+			}
+		}
+	}
+	for i := range want.dirs {
+		if len(got.dirs[i]) != len(want.dirs[i]) {
+			t.Fatalf("slice %d: %d entries vs %d", i, len(got.dirs[i]), len(want.dirs[i]))
+		}
+		for addr, sh := range want.dirs[i] {
+			if g, ok := got.dirs[i][addr]; !ok || g != sh {
+				t.Fatalf("slice %d addr %#x: sharers %#x (present=%v), want %#x", i, addr, g, ok, sh)
+			}
+		}
+		for addr, owner := range want.owned[i] {
+			if g, ok := got.owned[i][addr]; !ok || g != owner {
+				t.Fatalf("slice %d addr %#x: owner %d (present=%v), want %d", i, addr, g, ok, owner)
+			}
+		}
+	}
+}
+
+// TestBatchDrainStateMatchesPerMessage: on the same workload seed, the
+// batch-drain and per-message modes leave IDENTICAL directory and cache
+// state (and identical simulated time and traffic — the batch intake is
+// timing-preserving by construction), and both pass the consistency
+// audit after a drain. Swept over seeds, directory organizations and an
+// insertion-heavy config so occupancy windows actually coalesce
+// requests.
+func TestBatchDrainStateMatchesPerMessage(t *testing.T) {
+	slowInsert := smallCfg()
+	slowInsert.InsertCycle = 8 // widen occupancy windows: more queueing, bigger drains
+	cases := []struct {
+		name string
+		cfg  Config
+		f    Factory
+		seed uint64
+	}{
+		{"ideal", smallCfg(), idealFactory, 3},
+		{"cuckoo", smallCfg(), cuckooFactory, 5},
+		{"cuckoo-seed7", smallCfg(), cuckooFactory, 7},
+		{"cuckoo-slow-insert", slowInsert, cuckooFactory, 9},
+	}
+	const accesses = 30_000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runMode(tc.cfg, tc.seed, tc.f, DrainPerMessage, accesses)
+			bat := runMode(tc.cfg, tc.seed, tc.f, DrainBatch, accesses)
+
+			if err := ref.CheckConsistency(); err != nil {
+				t.Fatalf("per-message audit: %v", err)
+			}
+			if err := bat.CheckConsistency(); err != nil {
+				t.Fatalf("batch-drain audit: %v", err)
+			}
+			if ref.Now() != bat.Now() {
+				t.Fatalf("simulated time diverged: per-message %d, batch %d", ref.Now(), bat.Now())
+			}
+			if rm, bm := ref.MeshStats(), bat.MeshStats(); rm != bm {
+				t.Fatalf("mesh traffic diverged:\nper-message %+v\nbatch %+v", rm, bm)
+			}
+			if rc, bc := ref.CoreStats(), bat.CoreStats(); rc != bc {
+				t.Fatalf("core stats diverged:\nper-message %+v\nbatch %+v", rc, bc)
+			}
+			rd, bd := ref.DirStats(), bat.DirStats()
+			if rd.Requests != bd.Requests || rd.InsertWaitCycles != bd.InsertWaitCycles ||
+				rd.InsertBusyCycles != bd.InsertBusyCycles || rd.Recalls != bd.Recalls ||
+				rd.Invalidations != bd.Invalidations || rd.ForcedInvalidations != bd.ForcedInvalidations {
+				t.Fatalf("dir timing diverged:\nper-message %+v\nbatch %+v", rd, bd)
+			}
+			diffState(t, captureState(bat), captureState(ref))
+
+			// The modes differ only in the drain accounting.
+			if rd.Drains != 0 || rd.DrainedRequests != 0 {
+				t.Fatalf("per-message mode recorded drains: %+v", rd)
+			}
+			if bd.Drains == 0 || bd.DrainedRequests != bd.Requests {
+				t.Fatalf("batch mode drain accounting: %+v (want every request drained)", bd)
+			}
+		})
+	}
+}
+
+// TestBatchDrainCoalesces: with a wide insertion-occupancy window,
+// batch drains actually pop more than one request at a time — the
+// queue-level batching the mode exists to expose.
+func TestBatchDrainCoalesces(t *testing.T) {
+	cfg := smallCfg()
+	cfg.InsertCycle = 16
+	sys := runMode(cfg, 11, cuckooFactory, DrainBatch, 50_000)
+	ds := sys.DirStats()
+	if ds.Drains == 0 {
+		t.Fatal("no drains recorded")
+	}
+	if ds.MaxDrainBatch < 2 {
+		t.Fatalf("MaxDrainBatch = %d — occupancy windows never coalesced requests", ds.MaxDrainBatch)
+	}
+	if ds.DrainedRequests <= ds.Drains {
+		t.Fatalf("drained %d requests in %d drains — no coalescing", ds.DrainedRequests, ds.Drains)
+	}
+}
+
+// TestBatchDrainWaitBounded: the §4.2 claim holds in batch mode too.
+func TestBatchDrainWaitBounded(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Drain = DrainBatch
+	sys := New(cfg, testProfile(), 15, cuckooFactory)
+	sys.Run(30000)
+	ds := sys.DirStats()
+	if ds.Requests == 0 {
+		t.Fatal("no requests")
+	}
+	if waitPerReq := float64(ds.InsertWaitCycles) / float64(ds.Requests); waitPerReq > 1.0 {
+		t.Fatalf("insertion wait %f cycles/request in batch mode", waitPerReq)
+	}
+}
+
+func TestDrainModeString(t *testing.T) {
+	if DrainPerMessage.String() != "per-message" || DrainBatch.String() != "batch" {
+		t.Fatal("drain mode names wrong")
+	}
+}

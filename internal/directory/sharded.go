@@ -477,13 +477,27 @@ func (s *ShardedDirectory) Apply(accesses []Access) []Op {
 // ApplyShard executes a batch whose accesses ALL home onto shard h —
 // the zero-overhead variant of Apply for shard-affine batching
 // front-ends (internal/replay): one lock acquisition, no grouping pass,
-// and no Op recording (callers that need the Ops use Apply). Like
-// Apply, the whole batch is validated up front on the caller's stack —
-// unknown kinds, out-of-range caches and accesses homing onto a
-// different shard panic before anything is applied.
+// and no Op recording (callers that need the Ops use Apply or
+// ApplyShardOps). Like Apply, the whole batch is validated up front on
+// the caller's stack — unknown kinds, out-of-range caches and accesses
+// homing onto a different shard panic before anything is applied.
 func (s *ShardedDirectory) ApplyShard(h int, accesses []Access) {
+	s.ApplyShardOps(h, accesses, nil)
+}
+
+// ApplyShardOps is ApplyShard with Op recording: ops, when non-nil,
+// must have len(accesses) and receives each access's Op at the matching
+// index (Evicts yield zero Ops). It is the entry point the asynchronous
+// engine's drainers use — one lock acquisition per call, results
+// written into caller-owned storage so ticket slots can be filled
+// without an intermediate Op slice allocation. A nil ops is exactly
+// ApplyShard.
+func (s *ShardedDirectory) ApplyShardOps(h int, accesses []Access, ops []Op) {
 	if h < 0 || h >= len(s.shards) {
 		panic(fmt.Sprintf("directory: ApplyShard: shard %d out of range (have %d)", h, len(s.shards)))
+	}
+	if ops != nil && len(ops) != len(accesses) {
+		panic(fmt.Sprintf("directory: ApplyShardOps: %d ops slots for %d accesses", len(ops), len(accesses)))
 	}
 	for _, a := range accesses {
 		if a.Kind > AccessEvict {
@@ -500,8 +514,15 @@ func (s *ShardedDirectory) ApplyShard(h int, accesses []Access) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	var c ShardCounters
-	for _, a := range accesses {
-		c.observe(a.Kind, applyOne(sh.dir, a))
+	if ops == nil {
+		for _, a := range accesses {
+			c.observe(a.Kind, applyOne(sh.dir, a))
+		}
+	} else {
+		for i, a := range accesses {
+			ops[i] = applyOne(sh.dir, a)
+			c.observe(a.Kind, ops[i])
+		}
 	}
 	sh.ctr.flush(c)
 }

@@ -469,6 +469,51 @@ func TestApplyShardMatchesApply(t *testing.T) {
 	}
 }
 
+// TestApplyShardOpsMatchesApply: ApplyShardOps records, per access,
+// exactly the Op that Apply reports for the same stream, and rejects a
+// mis-sized ops slice before touching the directory.
+func TestApplyShardOpsMatchesApply(t *testing.T) {
+	mk := func() *ShardedDirectory {
+		s, err := BuildSharded(shardedSpec(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	r := rng.New(23)
+	groups := make([][]Access, 4)
+	for i := 0; i < 4000; i++ {
+		acc := Access{Kind: AccessKind(r.Uint64() % 3), Addr: r.Uint64() % 4096, Cache: int(r.Uint64() % 16)}
+		groups[a.ShardOf(acc.Addr)] = append(groups[a.ShardOf(acc.Addr)], acc)
+	}
+	for h, g := range groups {
+		ops := make([]Op, len(g))
+		a.ApplyShardOps(h, g, ops)
+		want := b.Apply(g)
+		if !reflect.DeepEqual(ops, want) {
+			t.Fatalf("shard %d: ApplyShardOps ops differ from Apply ops", h)
+		}
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("ApplyShardOps len %d != Apply len %d", a.Len(), b.Len())
+	}
+
+	before := a.Len()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mis-sized ops slice: no panic")
+			}
+		}()
+		addr := uint64(1)
+		a.ApplyShardOps(a.ShardOf(addr), []Access{{Kind: AccessRead, Addr: addr, Cache: 0}}, make([]Op, 2))
+	}()
+	if a.Len() != before {
+		t.Error("mis-sized ops slice: batch partially applied")
+	}
+}
+
 // TestShardedCounters verifies the lock-free counter snapshot agrees
 // with the ground truth — the locked Stats merge and a replayed local
 // tally — after point ops, Apply batches and ApplyShard batches.

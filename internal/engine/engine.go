@@ -1,0 +1,662 @@
+// Package engine is the asynchronous submission front-end of the
+// sharded directory: a DirectoryEngine owns a ShardedDirectory and
+// drains bounded per-shard request queues with dedicated goroutines, so
+// clients SUBMIT directory work and collect results later instead of
+// blocking in ApplyShard themselves.
+//
+// This is the paper's §4.2 structure made into the API: requests queue
+// at a home slice, the slice drains them in batches, and insertion work
+// overlaps with responses — the caller never holds a shard lock. It is
+// also the server/combiner design Fatourou et al. argue for on many-core
+// hardware (PAPERS.md): a dedicated drainer per queue beats lock-passing
+// because the queue pop, the batch apply and the completion notification
+// all run on one core with the shard's data hot.
+//
+// # Queues and ordering
+//
+// Every shard is statically assigned to one drainer (shard mod
+// Drainers); each drainer owns one bounded MPSC queue (a Go channel —
+// multiple producers, a single consumer). Submission routes each access
+// to its home shard's queue, so:
+//
+//   - Requests to the SAME shard complete in submission order (per-shard
+//     FIFO): one producer's submissions are ordered by its program
+//     order, concurrent producers' by their arrival order at the queue.
+//   - Requests to different shards have no ordering relative to each
+//     other — exactly the ShardedDirectory.Apply contract. A block never
+//     spans shards, so per-block operation order is always submission
+//     order.
+//
+// # Backpressure
+//
+// Queues are bounded (Options.QueueDepth requests per drainer). When a
+// queue is full, BlockWhenFull (the default) blocks the submitter until
+// the drainer catches up — honoring context cancellation — while
+// RejectWhenFull fails the whole submission immediately with
+// ErrQueueFull, enqueueing nothing (all-or-nothing, so a rejected batch
+// can be retried verbatim).
+//
+// # Completion
+//
+// Submit and SubmitBatch return a Ticket: poll Done(), block in
+// Wait(ctx), and read the per-access Ops once complete. SubmitBatchFunc
+// instead invokes a callback on an engine goroutine (keep it short).
+// SubmitDetached records no results at all — the fire-and-forget fast
+// path replay uses. Flush inserts a barrier into every queue and waits
+// for it, guaranteeing every previously-submitted request has been
+// applied. Close flushes and stops the drainers; the ShardedDirectory
+// itself stays usable.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cuckoodir/internal/directory"
+)
+
+// Submission errors.
+var (
+	// ErrClosed reports a submission to a closed engine.
+	ErrClosed = errors.New("engine: closed")
+	// ErrQueueFull reports a rejected submission under RejectWhenFull.
+	ErrQueueFull = errors.New("engine: queue full")
+)
+
+// Policy selects the backpressure behaviour of a full queue.
+type Policy uint8
+
+// Backpressure policies.
+const (
+	// BlockWhenFull (the default) blocks the submitter until queue space
+	// frees, honoring context cancellation.
+	BlockWhenFull Policy = iota
+	// RejectWhenFull fails the submission with ErrQueueFull without
+	// enqueueing anything.
+	RejectWhenFull
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case BlockWhenFull:
+		return "block"
+	case RejectWhenFull:
+		return "reject"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Options parameterize an Engine. The zero value is usable.
+type Options struct {
+	// Drainers is the number of drainer goroutines (and queues); shards
+	// are assigned drainer shard%Drainers. 0 defaults to one drainer per
+	// shard, capped at 4x GOMAXPROCS; values above the shard count are
+	// clamped to it (more drainers than shards would idle).
+	Drainers int
+	// QueueDepth bounds each drainer's queue, in requests (a batch
+	// submission counts one request per touched drainer). Default 256.
+	QueueDepth int
+	// Policy selects blocking or rejecting backpressure on a full queue.
+	Policy Policy
+}
+
+// DefaultQueueDepth is the per-drainer queue bound when Options leaves
+// QueueDepth zero.
+const DefaultQueueDepth = 256
+
+func (o Options) withDefaults(shards int) Options {
+	if o.Drainers <= 0 {
+		o.Drainers = shards
+		if lim := 4 * runtime.GOMAXPROCS(0); o.Drainers > lim {
+			o.Drainers = lim
+		}
+	}
+	if o.Drainers > shards {
+		o.Drainers = shards
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	return o
+}
+
+// request is one queue element: a run of accesses for one drainer, plus
+// where its results and completion go.
+type request struct {
+	accs []directory.Access
+	// ops, when non-nil, receives each access's Op directly (the run is
+	// contiguous in its ticket). idxs, when non-nil, scatters drainer-
+	// scratch Ops into t.ops[idxs[k]] instead (the run is a routed
+	// sub-batch of a larger submission). At most one of the two is set.
+	ops  []directory.Op
+	idxs []int32
+	t    *Ticket
+	// barrier completes t without applying anything; stop additionally
+	// ends the drainer.
+	barrier bool
+	stop    bool
+}
+
+// Ticket is a pollable completion handle for one submission.
+type Ticket struct {
+	done    chan struct{}
+	ops     []directory.Op
+	pending atomic.Int32
+	fn      func([]directory.Op)
+	// abandoned suppresses the callback when a submission failed
+	// mid-enqueue (context cancellation): the enqueued prefix still
+	// applies, but the caller saw an error, so fn must not fire on a
+	// partial result.
+	abandoned atomic.Bool
+}
+
+func newTicket(pending int, ops []directory.Op, fn func([]directory.Op)) *Ticket {
+	t := &Ticket{done: make(chan struct{}), ops: ops, fn: fn}
+	t.pending.Store(int32(pending))
+	return t
+}
+
+// Done returns a channel closed when every access of the submission has
+// been applied.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the submission completes or ctx is cancelled.
+// Cancellation abandons the wait only — the enqueued work still runs.
+func (t *Ticket) Wait(ctx context.Context) error {
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Ops returns the per-access results in submission order. It must only
+// be called after Done is closed (Wait returned nil); the slice is
+// owned by the caller from then on.
+func (t *Ticket) Ops() []directory.Op {
+	select {
+	case <-t.done:
+		return t.ops
+	default:
+		panic("engine: Ticket.Ops before completion")
+	}
+}
+
+// Op returns the single result of a Submit ticket (Ops()[0]).
+func (t *Ticket) Op() directory.Op { return t.Ops()[0] }
+
+// complete retires one request of the ticket; the last one fires the
+// callback and closes done.
+func (t *Ticket) complete() {
+	if t.pending.Add(-1) == 0 {
+		if t.fn != nil && !t.abandoned.Load() {
+			t.fn(t.ops)
+		}
+		close(t.done)
+	}
+}
+
+// Stats is a snapshot of an engine's submission counters.
+type Stats struct {
+	// SubmittedAccesses / CompletedAccesses count individual accesses
+	// accepted into queues and applied to the directory.
+	SubmittedAccesses uint64
+	CompletedAccesses uint64
+	// SubmittedRequests / CompletedRequests count queue elements (a
+	// batch contributes one per touched drainer; barriers not counted).
+	SubmittedRequests uint64
+	CompletedRequests uint64
+	// Rejected counts submissions refused with ErrQueueFull.
+	Rejected uint64
+	// Flushes counts Flush barriers completed.
+	Flushes uint64
+}
+
+// Engine is the asynchronous submission front-end. It is safe for
+// concurrent use by any number of producers.
+type Engine struct {
+	dir    *directory.ShardedDirectory
+	opt    Options
+	queues []chan request
+	// depth tracks each queue's outstanding requests for the
+	// RejectWhenFull reservation protocol (see reserve).
+	depth []atomic.Int64
+
+	// mu serializes submissions against Close: submitters hold the read
+	// side across the closed check and the enqueue.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+
+	subAcc, cmpAcc, subReq, cmpReq, rejected, flushes atomic.Uint64
+}
+
+// New builds an engine over dir and starts its drainer goroutines. The
+// caller must not drive dir's mutating entry points directly while the
+// engine is open (point reads like Lookup/Counters remain fine — they
+// take the same shard locks the drainers do).
+func New(dir *directory.ShardedDirectory, o Options) (*Engine, error) {
+	if dir == nil {
+		return nil, errors.New("engine: nil directory")
+	}
+	if o.Drainers < 0 || o.QueueDepth < 0 {
+		return nil, fmt.Errorf("engine: negative option (drainers %d, queue depth %d)", o.Drainers, o.QueueDepth)
+	}
+	if o.Policy > RejectWhenFull {
+		return nil, fmt.Errorf("engine: unknown policy %d", o.Policy)
+	}
+	o = o.withDefaults(dir.ShardCount())
+	e := &Engine{
+		dir:    dir,
+		opt:    o,
+		queues: make([]chan request, o.Drainers),
+		depth:  make([]atomic.Int64, o.Drainers),
+	}
+	for i := range e.queues {
+		e.queues[i] = make(chan request, o.QueueDepth)
+	}
+	e.wg.Add(o.Drainers)
+	for i := range e.queues {
+		go e.drain(i)
+	}
+	return e, nil
+}
+
+// Options returns the effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opt }
+
+// Directory returns the engine's underlying sharded directory.
+func (e *Engine) Directory() *directory.ShardedDirectory { return e.dir }
+
+// Stats returns a snapshot of the submission counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		SubmittedAccesses: e.subAcc.Load(),
+		CompletedAccesses: e.cmpAcc.Load(),
+		SubmittedRequests: e.subReq.Load(),
+		CompletedRequests: e.cmpReq.Load(),
+		Rejected:          e.rejected.Load(),
+		Flushes:           e.flushes.Load(),
+	}
+}
+
+// Pending returns the number of enqueued-but-unfinished requests across
+// all queues (approximate while producers and drainers race).
+func (e *Engine) Pending() int {
+	total := int64(0)
+	for i := range e.depth {
+		total += e.depth[i].Load()
+	}
+	return int(total)
+}
+
+// queueOf returns the drainer queue index of shard h.
+func (e *Engine) queueOf(h int) int { return h % e.opt.Drainers }
+
+// validate rejects malformed accesses with an error on the submitter's
+// stack — the engine's drainers must never panic on behalf of a remote
+// caller.
+func (e *Engine) validate(accs []directory.Access) error {
+	n := e.dir.NumCaches()
+	for i, a := range accs {
+		if a.Kind > directory.AccessEvict {
+			return fmt.Errorf("engine: access %d: unknown kind %d", i, a.Kind)
+		}
+		if a.Cache < 0 || a.Cache >= n {
+			return fmt.Errorf("engine: access %d: cache %d out of range (tracking %d)", i, a.Cache, n)
+		}
+	}
+	return nil
+}
+
+// Submit enqueues one access and returns its ticket. ctx applies to the
+// enqueue only (a blocked submitter under BlockWhenFull); once enqueued
+// the access will be applied regardless of ctx.
+func (e *Engine) Submit(ctx context.Context, a directory.Access) (*Ticket, error) {
+	if err := e.validate([]directory.Access{a}); err != nil {
+		return nil, err
+	}
+	ops := make([]directory.Op, 1)
+	t := newTicket(1, ops, nil)
+	accs := []directory.Access{a}
+	q := e.queueOf(e.dir.ShardOf(a.Addr))
+	if err := e.send(ctx, []int{q}, []request{{accs: accs, ops: ops, t: t}}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SubmitBatch enqueues a batch and returns one ticket covering it;
+// Ticket.Ops() reports results in batch order. The engine routes each
+// access to its home shard's queue, so a batch may fan out to several
+// drainers; its ticket completes when the last sub-batch has applied.
+// The batch slice is copied where routing requires it but may be
+// retained until completion — do not mutate it before the ticket is
+// done.
+func (e *Engine) SubmitBatch(ctx context.Context, accs []directory.Access) (*Ticket, error) {
+	return e.submitBatch(ctx, accs, true, nil)
+}
+
+// SubmitBatchFunc is SubmitBatch with a completion callback instead of
+// a caller-held ticket: fn receives the batch's Ops (in batch order) on
+// an engine goroutine once every access has applied. Keep fn short — it
+// runs on the drainer that completed the batch.
+func (e *Engine) SubmitBatchFunc(ctx context.Context, accs []directory.Access, fn func(ops []directory.Op)) error {
+	if fn == nil {
+		return errors.New("engine: SubmitBatchFunc with nil callback (use SubmitDetached)")
+	}
+	_, err := e.submitBatch(ctx, accs, true, fn)
+	return err
+}
+
+// SubmitDetached enqueues a batch fire-and-forget: no ticket, no Op
+// recording — the cheapest submission path (Flush still covers it).
+// The batch is copied during routing, so the caller may reuse its
+// slice as soon as SubmitDetached returns (there is no ticket that
+// could signal a safe-reuse point otherwise).
+func (e *Engine) SubmitDetached(ctx context.Context, accs []directory.Access) error {
+	_, err := e.submitBatch(ctx, accs, false, nil)
+	return err
+}
+
+func (e *Engine) submitBatch(ctx context.Context, accs []directory.Access, record bool, fn func([]directory.Op)) (*Ticket, error) {
+	if len(accs) == 0 {
+		return nil, errors.New("engine: empty batch")
+	}
+	if err := e.validate(accs); err != nil {
+		return nil, err
+	}
+
+	// Route the batch: per-drainer sub-batches, in batch order.
+	D := e.opt.Drainers
+	recording := record || fn != nil
+	var reqs []request
+	var queues []int
+	if D == 1 {
+		if !recording {
+			// A detached submission has no ticket, so the caller can
+			// never know when buffer reuse is safe — take a copy instead
+			// of aliasing the batch (the multi-drainer routing below
+			// copies as a side effect of splitting).
+			accs = append([]directory.Access(nil), accs...)
+		}
+		reqs = []request{{accs: accs}}
+		queues = []int{0}
+	} else {
+		subAccs := make([][]directory.Access, D)
+		var subIdxs [][]int32
+		if recording {
+			subIdxs = make([][]int32, D)
+		}
+		for i, a := range accs {
+			q := e.queueOf(e.dir.ShardOf(a.Addr))
+			subAccs[q] = append(subAccs[q], a)
+			if recording {
+				subIdxs[q] = append(subIdxs[q], int32(i))
+			}
+		}
+		for q, sub := range subAccs {
+			if len(sub) == 0 {
+				continue
+			}
+			r := request{accs: sub}
+			// A whole batch landing on one queue keeps its results
+			// contiguous — no scatter indices needed. Detached batches
+			// record nothing at all.
+			if recording && len(sub) != len(accs) {
+				r.idxs = subIdxs[q]
+			}
+			reqs = append(reqs, r)
+			queues = append(queues, q)
+		}
+	}
+
+	var t *Ticket
+	if record || fn != nil {
+		ops := make([]directory.Op, len(accs))
+		t = newTicket(len(reqs), ops, fn)
+		for i := range reqs {
+			reqs[i].t = t
+			if reqs[i].idxs == nil {
+				reqs[i].ops = ops
+			}
+		}
+	}
+	if err := e.send(ctx, queues, reqs); err != nil {
+		return nil, err
+	}
+	if !record {
+		return nil, nil
+	}
+	return t, nil
+}
+
+// send enqueues reqs[i] on queues[i] under the submission lock,
+// applying the backpressure policy. Under RejectWhenFull it first
+// reserves space on every target queue, so either the whole submission
+// enqueues or none of it does.
+func (e *Engine) send(ctx context.Context, queues []int, reqs []request) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.opt.Policy == RejectWhenFull {
+		if !e.reserve(queues) {
+			e.rejected.Add(1)
+			return ErrQueueFull
+		}
+		// Reserved space means the buffered sends below cannot block.
+		for i, q := range queues {
+			e.queues[q] <- reqs[i]
+			e.account(reqs[i])
+		}
+		return nil
+	}
+	for i, q := range queues {
+		e.depth[q].Add(1)
+		select {
+		case e.queues[q] <- reqs[i]:
+			e.account(reqs[i])
+		case <-ctx.Done():
+			e.depth[q].Add(-1)
+			// Earlier sub-batches are already enqueued and will apply.
+			// The caller only sees the ctx error (never the ticket), so
+			// suppress any callback and retire the unsent remainder to
+			// keep the internal ticket accounting balanced.
+			if t := reqs[i].t; t != nil {
+				t.abandoned.Store(true)
+			}
+			for j := i; j < len(reqs); j++ {
+				if reqs[j].t != nil {
+					reqs[j].t.complete()
+				}
+			}
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// reserve atomically claims one slot on every queue in queues (which
+// may repeat indices — each occurrence claims a slot), rolling back and
+// reporting false if any queue is full.
+func (e *Engine) reserve(queues []int) bool {
+	for i, q := range queues {
+		for {
+			d := e.depth[q].Load()
+			if d >= int64(e.opt.QueueDepth) {
+				for _, back := range queues[:i] {
+					e.depth[back].Add(-1)
+				}
+				return false
+			}
+			if e.depth[q].CompareAndSwap(d, d+1) {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// account tallies an accepted request.
+func (e *Engine) account(r request) {
+	e.subReq.Add(1)
+	e.subAcc.Add(uint64(len(r.accs)))
+}
+
+// Flush blocks until every request submitted before the call has been
+// applied (requests submitted concurrently with Flush may or may not be
+// covered). It inserts a barrier into every queue — per-queue FIFO then
+// guarantees the drain. ctx cancels the wait, not the barriers.
+func (e *Engine) Flush(ctx context.Context) error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	t := e.barrier()
+	e.mu.RUnlock()
+	if err := t.Wait(ctx); err != nil {
+		return err
+	}
+	e.flushes.Add(1)
+	return nil
+}
+
+// barrier enqueues a barrier request on every queue and returns its
+// ticket. Barriers bypass the backpressure policy (they must succeed)
+// and are not counted in the depth accounting. Callers hold e.mu.
+func (e *Engine) barrier() *Ticket {
+	t := newTicket(len(e.queues), nil, nil)
+	for _, q := range e.queues {
+		q <- request{t: t, barrier: true}
+	}
+	return t
+}
+
+// Close drains every queue, stops the drainers and marks the engine
+// closed; submissions racing with Close either enqueue (and complete)
+// or fail with ErrClosed. Close is idempotent; concurrent Closes block
+// until the first finishes.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	// No submitter can enqueue past the closed flag, so the stop
+	// sentinel is the last element of each queue.
+	for _, q := range e.queues {
+		q <- request{stop: true}
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// drain is one drainer goroutine: it pops requests off its queue and
+// applies each as shard-affine ApplyShardOps batches, then completes
+// the request's ticket. With the default one-drainer-per-shard layout a
+// request is a single pre-routed run — one lock acquisition, no
+// grouping pass; with grouped shards (Drainers < ShardCount) the run is
+// partitioned by home shard first.
+func (e *Engine) drain(qi int) {
+	defer e.wg.Done()
+	q := e.queues[qi]
+	singleShard := e.opt.Drainers == e.dir.ShardCount()
+	var scratchOps []directory.Op
+	var scratchAccs []directory.Access
+	// buckets[b] holds the in-request positions of the accesses homing
+	// onto shard qi+b*Drainers (the shards this drainer serves).
+	buckets := make([][]int32, (e.dir.ShardCount()-qi+e.opt.Drainers-1)/e.opt.Drainers)
+	for r := range q {
+		switch {
+		case r.stop:
+			return
+		case r.barrier:
+			r.t.complete()
+			continue
+		}
+		if singleShard {
+			// The queue serves exactly one shard: qi itself.
+			e.apply(qi, r.accs, r, nil, &scratchOps)
+		} else {
+			// Partition the run by home shard, preserving order.
+			for b := range buckets {
+				buckets[b] = buckets[b][:0]
+			}
+			for i, a := range r.accs {
+				h := e.dir.ShardOf(a.Addr)
+				b := (h - qi) / e.opt.Drainers
+				buckets[b] = append(buckets[b], int32(i))
+			}
+			for b, idxs := range buckets {
+				if len(idxs) == 0 {
+					continue
+				}
+				scratchAccs = scratchAccs[:0]
+				for _, i := range idxs {
+					scratchAccs = append(scratchAccs, r.accs[i])
+				}
+				e.apply(qi+b*e.opt.Drainers, scratchAccs, r, idxs, &scratchOps)
+			}
+		}
+		e.finish(qi, r)
+	}
+}
+
+// apply executes one shard-affine run of request r and lands its Ops in
+// the right slots. runIdx, when non-nil, maps run position k to the
+// in-request position runIdx[k] (the grouped-shards path); otherwise
+// the run IS r.accs.
+func (e *Engine) apply(shard int, accs []directory.Access, r request, runIdx []int32, scratch *[]directory.Op) {
+	if r.ops == nil && r.idxs == nil {
+		e.dir.ApplyShardOps(shard, accs, nil)
+		return
+	}
+	// Fast path: a contiguous whole-request run writes straight into the
+	// ticket's storage.
+	if runIdx == nil && r.ops != nil {
+		e.dir.ApplyShardOps(shard, accs, r.ops)
+		return
+	}
+	if cap(*scratch) < len(accs) {
+		*scratch = make([]directory.Op, len(accs))
+	}
+	ops := (*scratch)[:len(accs)]
+	e.dir.ApplyShardOps(shard, accs, ops)
+	for k := range accs {
+		pos := k
+		if runIdx != nil {
+			pos = int(runIdx[k])
+		}
+		if r.idxs != nil {
+			r.t.ops[r.idxs[pos]] = ops[k]
+		} else {
+			r.ops[pos] = ops[k]
+		}
+	}
+}
+
+// finish retires one applied request popped from queue qi.
+func (e *Engine) finish(qi int, r request) {
+	e.cmpReq.Add(1)
+	e.cmpAcc.Add(uint64(len(r.accs)))
+	e.depth[qi].Add(-1)
+	if r.t != nil {
+		r.t.complete()
+	}
+}

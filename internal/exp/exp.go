@@ -84,6 +84,7 @@ func All() []Experiment {
 		formatsExp(),
 		analyticExp(),
 		latencyExp(),
+		replayThroughputExp(),
 	}
 }
 

@@ -16,7 +16,7 @@ func TestRegistry(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig4", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "mix", "hashes", "ablation", "formats",
-		"analytic", "latency",
+		"analytic", "latency", "replay",
 	}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -180,6 +180,50 @@ func TestLatencyQuick(t *testing.T) {
 	body := ts[0].String()
 	if !strings.Contains(body, "cuckoo") {
 		t.Fatalf("latency table missing cuckoo row:\n%s", body)
+	}
+}
+
+// TestReplayQuick: the replay-throughput sweep produces one row per
+// configuration with live throughput in every row, covers both
+// submission paths and both home functions, and honors the Orgs
+// override (sharded names are skipped with a note, not double-wrapped).
+func TestReplayQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput experiment")
+	}
+	ts := runExp(t, "replay")
+	tb := ts[0]
+	if tb.NumRows() != 7 {
+		t.Fatalf("replay rows = %d, want 7", tb.NumRows())
+	}
+	paths, homes := map[string]bool{}, map[string]bool{}
+	for r := 0; r < tb.NumRows(); r++ {
+		paths[tb.Cell(r, 3)] = true
+		homes[tb.Cell(r, 2)] = true
+		if v := parseFloat(t, tb.Cell(r, 6)); v <= 0 {
+			t.Errorf("row %d: throughput %v kacc/s", r, v)
+		}
+	}
+	if !paths["applyshard"] || !paths["engine"] {
+		t.Errorf("paths covered: %v, want both applyshard and engine", paths)
+	}
+	if !homes["mix"] || !homes["interleave"] {
+		t.Errorf("homes covered: %v, want both mix and interleave", homes)
+	}
+
+	e, err := ByID("replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts = e.Run(Options{Scale: Quick, Orgs: []string{"cuckoo-4x512", "sharded-2(cuckoo-4x512)"}})
+	tb = ts[0]
+	if tb.NumRows() != 7 {
+		t.Fatalf("override rows = %d, want 7 (one eligible org)", tb.NumRows())
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		if tb.Cell(r, 0) != "cuckoo-4x512" {
+			t.Errorf("override row %d org = %q", r, tb.Cell(r, 0))
+		}
 	}
 }
 

@@ -22,9 +22,22 @@
 // order, so aggregate statistics (occupancy, attempt histogram,
 // invalidation counts) are meaningful but per-access Op sequences are
 // not. Use trace.Replay when bit-identical simulator state matters.
+//
+// Two submission paths share the Result shape for A/B comparison:
+//
+//   - ViaApplyShard (the default, and the named baseline): the original
+//     pipeline above — the producer packs shard-affine batches and a
+//     worker pool drives ApplyShard directly.
+//   - ViaEngine: the producer is a thin client of the asynchronous
+//     DirectoryEngine (internal/engine) — it packs plain fixed-size
+//     batches and fire-and-forget submits them; routing, queueing and
+//     shard-affine draining all happen inside the engine. RunMulti adds
+//     concurrent producers on this path, which the baseline pipeline
+//     cannot express (its producer is the serial stage).
 package replay
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -32,6 +45,7 @@ import (
 	"time"
 
 	"cuckoodir/internal/directory"
+	"cuckoodir/internal/engine"
 	"cuckoodir/internal/trace"
 	"cuckoodir/internal/workload"
 )
@@ -81,13 +95,46 @@ func (s *synthSource) Next() (trace.Record, error) {
 	return trace.Record{Core: c, Access: s.gens[c].Next()}, nil
 }
 
+// Via selects the submission path a replay run drives.
+type Via uint8
+
+// Submission paths.
+const (
+	// ViaApplyShard (the default) is the direct pipeline: shard-affine
+	// batches applied by a worker pool through ApplyShard — the named
+	// baseline engine runs are compared against.
+	ViaApplyShard Via = iota
+	// ViaEngine submits plain batches to an asynchronous
+	// DirectoryEngine and lets its drainers do the shard-affine work.
+	ViaEngine
+)
+
+// String names the path ("applyshard", "engine").
+func (v Via) String() string {
+	switch v {
+	case ViaApplyShard:
+		return "applyshard"
+	case ViaEngine:
+		return "engine"
+	default:
+		return fmt.Sprintf("Via(%d)", uint8(v))
+	}
+}
+
 // Options parameterize a replay run. The zero value is usable.
 type Options struct {
-	// Workers is the number of goroutines applying batches
-	// (default GOMAXPROCS).
+	// Workers is the number of goroutines applying batches on the
+	// ViaApplyShard path (default GOMAXPROCS). The engine path sizes its
+	// drainer pool from Engine instead.
 	Workers int
-	// BatchSize is the number of records per Apply batch (default 256).
+	// BatchSize is the number of records per batch (default 256) on
+	// both paths.
 	BatchSize int
+	// Via selects the submission path.
+	Via Via
+	// Engine configures the ViaEngine path (drainers, queue depth,
+	// backpressure); the zero value takes the engine's defaults.
+	Engine engine.Options
 }
 
 // DefaultBatchSize is the records-per-batch default: large enough that
@@ -108,13 +155,23 @@ func (o Options) withDefaults() Options {
 // Result reports one replay run.
 type Result struct {
 	// Accesses is the number of records applied; Batches the number of
-	// ApplyShard calls they were partitioned into.
+	// ApplyShard calls (or engine submissions) they were partitioned
+	// into.
 	Accesses uint64
 	Batches  uint64
+	// Dropped counts records the pipeline had read but never applied
+	// because a source error stopped production mid-batch. It is zero on
+	// a clean run; when non-zero the accompanying error says why.
+	Dropped uint64
 	// Elapsed is the wall time of the pipeline (reading, batching and
 	// applying overlap; this is end-to-end).
 	Elapsed time.Duration
-	// Workers and BatchSize echo the effective options.
+	// Via is the submission path the run used; Producers the number of
+	// producing goroutines (1 except for RunMulti).
+	Via       Via
+	Producers int
+	// Workers and BatchSize echo the effective options (Workers is the
+	// drainer count on the engine path).
 	Workers   int
 	BatchSize int
 	// Stats is the merged directory statistics snapshot after the run.
@@ -177,10 +234,18 @@ func (r Result) ShardImbalance() float64 {
 
 // String renders the one-line report the CLI prints.
 func (r Result) String() string {
-	return fmt.Sprintf(
-		"%d accesses in %.2fs (%.0f acc/s, %d workers, batch %d): %.2f avg insertion attempts, %d forced invalidations, occupancy %.1f%%, shard imbalance %.2fx",
-		r.Accesses, r.Elapsed.Seconds(), r.Throughput(), r.Workers, r.BatchSize,
+	mode := ""
+	if r.Via == ViaEngine {
+		mode = fmt.Sprintf(" via engine (%d producers)", r.Producers)
+	}
+	s := fmt.Sprintf(
+		"%d accesses in %.2fs (%.0f acc/s, %d workers, batch %d)%s: %.2f avg insertion attempts, %d forced invalidations, occupancy %.1f%%, shard imbalance %.2fx",
+		r.Accesses, r.Elapsed.Seconds(), r.Throughput(), r.Workers, r.BatchSize, mode,
 		r.Stats.Attempts.Mean(), r.Stats.ForcedEvictions, r.Occupancy()*100, r.ShardImbalance())
+	if r.Dropped > 0 {
+		s += fmt.Sprintf("; %d records read but DROPPED un-applied (source error)", r.Dropped)
+	}
+	return s
 }
 
 // Run drives the pipeline: records from src are packed into fixed-size,
@@ -197,12 +262,19 @@ func (r Result) String() string {
 // batching DLS-style designs argue for: accesses to one home slice drain
 // under one lock acquisition while other slices proceed independently.
 //
-// On a source or record error the pipeline stops producing (pending
-// partial batches are dropped), drains in-flight batches, and returns
-// the error together with the partial Result.
+// On a source or record error the pipeline stops producing, drains
+// in-flight batches, and returns the error together with the partial
+// Result; records read but not yet applied (the pending partial
+// batches) are counted in Result.Dropped rather than silently lost.
+//
+// With Options.Via == ViaEngine the same contract holds, but the
+// records flow through an asynchronous DirectoryEngine: see runEngine.
 func Run(dir *directory.ShardedDirectory, src Source, o Options) (Result, error) {
 	o = o.withDefaults()
-	res := Result{Workers: o.Workers, BatchSize: o.BatchSize}
+	if o.Via == ViaEngine {
+		return runEngine(dir, src, o)
+	}
+	res := Result{Workers: o.Workers, BatchSize: o.BatchSize, Producers: 1}
 
 	type shardBatch struct {
 		shard    int
@@ -233,19 +305,16 @@ func Run(dir *directory.ShardedDirectory, src Source, o Options) (Result, error)
 			err = rerr
 			break
 		}
-		if rec.Core < 0 || rec.Core >= numCaches {
-			err = fmt.Errorf("replay: record core %d out of range (directory tracks %d caches)", rec.Core, numCaches)
+		acc, aerr := recordAccess(rec, numCaches)
+		if aerr != nil {
+			err = aerr
 			break
 		}
-		kind := directory.AccessRead
-		if rec.Access.Write {
-			kind = directory.AccessWrite
-		}
-		h := dir.ShardOf(rec.Access.Addr)
+		h := dir.ShardOf(acc.Addr)
 		if pending[h] == nil {
 			pending[h] = make([]directory.Access, 0, o.BatchSize)
 		}
-		pending[h] = append(pending[h], directory.Access{Kind: kind, Addr: rec.Access.Addr, Cache: rec.Core})
+		pending[h] = append(pending[h], acc)
 		if len(pending[h]) == o.BatchSize {
 			res.Accesses += uint64(o.BatchSize)
 			res.Batches++
@@ -262,15 +331,164 @@ func Run(dir *directory.ShardedDirectory, src Source, o Options) (Result, error)
 				pending[h] = nil
 			}
 		}
+	} else {
+		// A source error stops production with partial batches pending:
+		// those records were read but will never be applied — report
+		// them instead of losing them invisibly.
+		for _, b := range pending {
+			res.Dropped += uint64(len(b))
+		}
 	}
 	close(batches)
 	wg.Wait()
 
 	res.Elapsed = time.Since(start)
+	finishResult(dir, &res)
+	return res, err
+}
+
+// finishResult snapshots the directory-side fields of a Result.
+func finishResult(dir *directory.ShardedDirectory, res *Result) {
 	res.Counters = dir.Counters()
 	res.Stats = dir.Stats()
 	res.ShardLens = dir.ShardLens()
 	res.Capacity = dir.Capacity()
+}
+
+// runEngine is the ViaEngine body of Run: the producer is a thin engine
+// client — it packs plain fixed-size batches (no shard routing, no
+// worker pool) and fire-and-forget submits them; the engine's drainers
+// do the shard-affine batched applying. Close drains everything before
+// the clock stops, so Throughput covers completion, not just
+// submission.
+func runEngine(dir *directory.ShardedDirectory, src Source, o Options) (Result, error) {
+	eng, err := engine.New(dir, o.Engine)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Via:       ViaEngine,
+		Producers: 1,
+		Workers:   eng.Options().Drainers,
+		BatchSize: o.BatchSize,
+	}
+	start := time.Now()
+	err = produce(eng, src, dir.NumCaches(), o.BatchSize, &res)
+	if cerr := eng.Close(); err == nil {
+		err = cerr
+	}
+	res.Elapsed = time.Since(start)
+	finishResult(dir, &res)
+	return res, err
+}
+
+// recordAccess converts one trace record to the directory access both
+// submission paths apply, rejecting out-of-range cores — the shared
+// conversion that keeps the direct and engine pipelines applying
+// identical streams.
+func recordAccess(rec trace.Record, numCaches int) (directory.Access, error) {
+	if rec.Core < 0 || rec.Core >= numCaches {
+		return directory.Access{}, fmt.Errorf("replay: record core %d out of range (directory tracks %d caches)", rec.Core, numCaches)
+	}
+	kind := directory.AccessRead
+	if rec.Access.Write {
+		kind = directory.AccessWrite
+	}
+	return directory.Access{Kind: kind, Addr: rec.Access.Addr, Cache: rec.Core}, nil
+}
+
+// produce reads src to EOF, submitting fixed-size detached batches to
+// eng and tallying into res. On an error the pending partial batch is
+// counted as dropped.
+func produce(eng *engine.Engine, src Source, numCaches, batchSize int, res *Result) error {
+	ctx := context.Background()
+	batch := make([]directory.Access, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := eng.SubmitDetached(ctx, batch); err != nil {
+			return err
+		}
+		res.Accesses += uint64(len(batch))
+		res.Batches++
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			return flush()
+		}
+		var acc directory.Access
+		if err == nil {
+			acc, err = recordAccess(rec, numCaches)
+		}
+		if err != nil {
+			res.Dropped += uint64(len(batch))
+			return err
+		}
+		batch = append(batch, acc)
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// RunMulti is the multi-producer form of the engine path: every source
+// gets its own producing goroutine, all submitting concurrently to one
+// DirectoryEngine over the same directory — the submission-side scaling
+// a single serial producer (either path of Run) cannot express.
+// Options.Via must be ViaEngine (the direct pipeline's producer is
+// inherently serial). Producers run their sources to completion; the
+// first error (with its producer's dropped count) is reported alongside
+// the combined Result.
+func RunMulti(dir *directory.ShardedDirectory, srcs []Source, o Options) (Result, error) {
+	o = o.withDefaults()
+	if o.Via != ViaEngine {
+		return Result{}, fmt.Errorf("replay: RunMulti requires Options.Via == ViaEngine (the %s pipeline is single-producer)", ViaApplyShard)
+	}
+	if len(srcs) == 0 {
+		return Result{}, fmt.Errorf("replay: RunMulti needs at least one source")
+	}
+	eng, err := engine.New(dir, o.Engine)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Via:       ViaEngine,
+		Producers: len(srcs),
+		Workers:   eng.Options().Drainers,
+		BatchSize: o.BatchSize,
+	}
+	numCaches := dir.NumCaches()
+	subResults := make([]Result, len(srcs))
+	errs := make([]error, len(srcs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, src := range srcs {
+		wg.Add(1)
+		go func(i int, src Source) {
+			defer wg.Done()
+			errs[i] = produce(eng, src, numCaches, o.BatchSize, &subResults[i])
+		}(i, src)
+	}
+	wg.Wait()
+	if cerr := eng.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	for i := range subResults {
+		res.Accesses += subResults[i].Accesses
+		res.Batches += subResults[i].Batches
+		res.Dropped += subResults[i].Dropped
+		if errs[i] != nil && err == nil {
+			err = errs[i]
+		}
+	}
+	res.Elapsed = time.Since(start)
+	finishResult(dir, &res)
 	return res, err
 }
 

@@ -199,12 +199,33 @@ func TestRunSourceError(t *testing.T) {
 		t.Fatalf("error = %v", err)
 	}
 	// Only complete batches were applied; partial per-shard batches are
-	// dropped on error.
+	// dropped on error — and the drop is REPORTED, not silent.
 	if res.Accesses > 512 || res.Accesses%256 != 0 {
 		t.Fatalf("applied %d accesses, want a multiple of the batch size <= 512", res.Accesses)
 	}
 	if res.Accesses != uint64(res.Batches)*256 {
 		t.Fatalf("accesses %d != batches %d x 256", res.Accesses, res.Batches)
+	}
+	if res.Accesses+res.Dropped != 700 {
+		t.Fatalf("applied %d + dropped %d != 700 records read", res.Accesses, res.Dropped)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("a 700-record stream over 256-batches must leave a partial batch dropped")
+	}
+	if !strings.Contains(res.String(), "DROPPED") {
+		t.Fatalf("String() hides the drop: %q", res.String())
+	}
+}
+
+// TestRunCleanHasNoDrops: a clean run reports zero drops and keeps them
+// out of the one-line report.
+func TestRunCleanHasNoDrops(t *testing.T) {
+	res, err := Run(testDir(t, 2), Synthesize(testProfile(t), testCores, 5, 1000), Options{BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 || strings.Contains(res.String(), "DROPPED") {
+		t.Fatalf("clean run reports drops: %d, %q", res.Dropped, res.String())
 	}
 }
 
