@@ -207,8 +207,13 @@ func benchCmd(args []string) error {
 	out := fs.String("out", bench.DefaultPath, "trajectory file path (with -json)")
 	label := fs.String("label", "dev", "run label in the trajectory (one entry per label)")
 	runFilter := fs.String("run", "", "only run cases whose name matches this regexp (partial runs record only the selected rows)")
+	against := fs.String("against", "", "compare the run against this trajectory label and fail on regressions (see -maxregress)")
+	maxRegress := fs.Float64("maxregress", 2, "with -against: fail when any shared case is more than this factor slower than the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxRegress <= 1 {
+		return fmt.Errorf("bench: -maxregress must be > 1 (got %g)", *maxRegress)
 	}
 	if len(fs.Args()) != 0 {
 		return fmt.Errorf("bench takes no positional arguments")
@@ -244,18 +249,34 @@ func benchCmd(args []string) error {
 		fmt.Printf("engine replay throughput vs direct ApplyShard (1 producer): %.0f%%\n",
 			eng.AccPerSec/direct.AccPerSec*100)
 	}
-	if !*jsonOut {
-		return nil
+	if *jsonOut {
+		tr, err := bench.Load(*out)
+		if err != nil {
+			return err
+		}
+		tr.Add(run)
+		if err := tr.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("recorded run %q (%d cases) in %s\n", *label, len(run.Results), *out)
 	}
-	tr, err := bench.Load(*out)
-	if err != nil {
-		return err
+	if *against != "" {
+		tr, err := bench.Load(*out)
+		if err != nil {
+			return err
+		}
+		base, ok := tr.Lookup(*against)
+		if !ok {
+			return fmt.Errorf("bench: -against: no run labeled %q in %s", *against, *out)
+		}
+		if bad := bench.Regressions(base, run, *maxRegress); len(bad) != 0 {
+			for _, line := range bad {
+				fmt.Fprintln(os.Stderr, "regression:", line)
+			}
+			return fmt.Errorf("bench: %d case(s) regressed more than %gx vs %q", len(bad), *maxRegress, *against)
+		}
+		fmt.Printf("no case regressed more than %gx vs %q\n", *maxRegress, *against)
 	}
-	tr.Add(run)
-	if err := tr.Save(*out); err != nil {
-		return err
-	}
-	fmt.Printf("recorded run %q (%d cases) in %s\n", *label, len(run.Results), *out)
 	return nil
 }
 
@@ -425,10 +446,14 @@ func usage() {
   cuckoodir run [flags] <id>...   run selected experiments
   cuckoodir all [flags]           run the whole suite
   cuckoodir bench [-json] [-out FILE] [-label L] [-run REGEXP]
+                  [-against L [-maxregress X]]
                                   run the fixed performance-benchmark suite
                                   (table find/insert/delete sweeps, sharded
                                   replay); -json appends the labeled run to
-                                  the BENCH_cuckoo.json trajectory
+                                  the BENCH_cuckoo.json trajectory; -against
+                                  compares the run to an existing trajectory
+                                  label and exits nonzero when any shared case
+                                  is more than -maxregress times slower
   cuckoodir trace record -file F [-workload W] [-n N] [-seed S]
   cuckoodir trace replay -file F [-config shared|private] [-workload W] [-dir ORG]
   cuckoodir trace replay -file F -dir ORG [-workers N] [-shards N] [-batch N] [-home mix|interleave]

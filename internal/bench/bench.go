@@ -23,6 +23,9 @@ import (
 	"math/bits"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"cuckoodir/internal/core"
@@ -312,6 +315,11 @@ type Result struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	// AccPerSec is the replay pipeline throughput (replay cases only).
 	AccPerSec float64 `json:"acc_per_sec,omitempty"`
+	// Notes flags rows whose numbers need a caveat to be interpretable —
+	// today, multi-worker/multi-producer cases recorded on a host that
+	// serializes them (GOMAXPROCS=1 or a single-CPU box), where "more
+	// parallelism is slower" is a recording artifact, not a result.
+	Notes string `json:"notes,omitempty"`
 }
 
 // Run is one labeled execution of the whole suite.
@@ -321,9 +329,46 @@ type Run struct {
 	// MaxProcs records GOMAXPROCS — the replay numbers are meaningless
 	// without it.
 	MaxProcs int `json:"go_max_procs"`
+	// NumCPU records runtime.NumCPU() — GOMAXPROCS can be raised above
+	// the hardware, so scaling rows are only believable when BOTH are
+	// >= the parallelism the case claims to measure.
+	NumCPU int `json:"num_cpu"`
 	// Results maps case name to measurement; encoding/json emits map
 	// keys sorted, keeping the file diffable.
 	Results map[string]Result `json:"results"`
+}
+
+// caseParallelism extracts the goroutine parallelism a case's name
+// claims to sweep (the largest workers=/producers= parameter), or 1
+// for serial cases.
+func caseParallelism(name string) int {
+	par := 1
+	for _, key := range []string{"workers=", "producers="} {
+		if i := strings.Index(name, key); i >= 0 {
+			if n, err := strconv.Atoi(strings.SplitN(name[i+len(key):], "/", 2)[0]); err == nil && n > par {
+				par = n
+			}
+		}
+	}
+	return par
+}
+
+// parallelNote renders the self-describing caveat for a parallel case
+// recorded on hardware that serializes it, or "" when the row is
+// trustworthy. A row like pr5's multi-producer regression then carries
+// its own explanation instead of reading as a scaling result.
+func parallelNote(name string, maxProcs, numCPU int) string {
+	par := caseParallelism(name)
+	if par <= 1 {
+		return ""
+	}
+	switch {
+	case maxProcs == 1:
+		return fmt.Sprintf("recorded at GOMAXPROCS=1: the %d-way parallelism of this case is serialized; not a scaling result", par)
+	case numCPU < par:
+		return fmt.Sprintf("recorded with num_cpu=%d < %d-way case parallelism: scaling is capped by the hardware", numCPU, par)
+	}
+	return ""
 }
 
 // RunSuite executes the suite with the standard testing.Benchmark
@@ -333,7 +378,12 @@ type Run struct {
 // full runs to the trajectory. logf, when non-nil, receives one
 // progress line per case.
 func RunSuite(label string, match func(name string) bool, logf func(format string, args ...any)) Run {
-	run := Run{Label: label, MaxProcs: runtime.GOMAXPROCS(0), Results: map[string]Result{}}
+	run := Run{
+		Label:    label,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:   runtime.NumCPU(),
+		Results:  map[string]Result{},
+	}
 	for _, c := range Cases() {
 		if match != nil && !match(c.Name) {
 			continue
@@ -348,6 +398,7 @@ func RunSuite(label string, match func(name string) bool, logf func(format strin
 		if acc, ok := br.Extra["acc/s"]; ok {
 			res.AccPerSec = acc
 		}
+		res.Notes = parallelNote(c.Name, run.MaxProcs, run.NumCPU)
 		run.Results[c.Name] = res
 		if logf != nil {
 			if res.AccPerSec > 0 {
@@ -355,9 +406,46 @@ func RunSuite(label string, match func(name string) bool, logf func(format strin
 			} else {
 				logf("%-32s %12.1f ns/op %14.0f ops/s\n", c.Name, res.NsPerOp, res.OpsPerSec)
 			}
+			if res.Notes != "" {
+				logf("  warning: %s\n", res.Notes)
+			}
 		}
 	}
 	return run
+}
+
+// Regressions compares cur against base case by case and returns one
+// human-readable line per case that got slower by more than factor
+// (e.g. factor 2 fails only on a >2x slowdown). Cases present in only
+// one run are skipped — the guard protects existing rows, it does not
+// freeze the case set. Throughput cases compare acc/s; latency cases
+// compare ns/op.
+func Regressions(base, cur Run, factor float64) []string {
+	var bad []string
+	names := make([]string, 0, len(cur.Results))
+	for name := range cur.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := base.Results[name]
+		if !ok {
+			continue
+		}
+		c := cur.Results[name]
+		if b.AccPerSec > 0 && c.AccPerSec > 0 {
+			if c.AccPerSec*factor < b.AccPerSec {
+				bad = append(bad, fmt.Sprintf("%s: %.0f acc/s vs %s's %.0f (%.2fx slower, limit %.1fx)",
+					name, c.AccPerSec, base.Label, b.AccPerSec, b.AccPerSec/c.AccPerSec, factor))
+			}
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*factor {
+			bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs %s's %.1f (%.2fx slower, limit %.1fx)",
+				name, c.NsPerOp, base.Label, b.NsPerOp, c.NsPerOp/b.NsPerOp, factor))
+		}
+	}
+	return bad
 }
 
 // Trajectory is the content of BENCH_cuckoo.json: the run history this

@@ -113,6 +113,68 @@ func TestTrajectoryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParallelNote pins the bench-metadata contract: every row names
+// the parallelism it claims (workers=/producers=), and a row recorded
+// on hardware that serializes that parallelism carries a note saying
+// so instead of reading as a scaling result.
+func TestParallelNote(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		par  int
+	}{
+		{"table/find/skew/occ=70", 1},
+		{"replay/shards=8/workers=1", 1},
+		{"replay/shards=8/workers=4", 4},
+		{"replay/engine/shards=8/producers=4", 4},
+	} {
+		if got := caseParallelism(tc.name); got != tc.par {
+			t.Errorf("caseParallelism(%q) = %d, want %d", tc.name, got, tc.par)
+		}
+	}
+	// Serial cases never carry a note; parallel cases do exactly when
+	// GOMAXPROCS or the CPU count can't back the claimed parallelism.
+	if n := parallelNote("replay/shards=8/workers=1", 1, 1); n != "" {
+		t.Errorf("serial case noted: %q", n)
+	}
+	if n := parallelNote("replay/shards=8/workers=4", 1, 16); !strings.Contains(n, "GOMAXPROCS=1") {
+		t.Errorf("GOMAXPROCS=1 note = %q", n)
+	}
+	if n := parallelNote("replay/engine/shards=8/producers=4", 8, 1); !strings.Contains(n, "num_cpu=1") {
+		t.Errorf("num_cpu note = %q", n)
+	}
+	if n := parallelNote("replay/shards=8/workers=4", 8, 8); n != "" {
+		t.Errorf("healthy parallel case noted: %q", n)
+	}
+}
+
+// TestRegressions pins the bench regression guard: latency rows compare
+// ns/op, throughput rows compare acc/s, cases present in only one run
+// are skipped, and only slowdowns past the factor fail.
+func TestRegressions(t *testing.T) {
+	base := Run{Label: "pr5", Results: map[string]Result{
+		"table/find/skew/occ=70":    {NsPerOp: 50},
+		"replay/shards=8/workers=1": {NsPerOp: 1e8, AccPerSec: 2e6},
+		"old/case":                  {NsPerOp: 10},
+	}}
+	cur := Run{Label: "dev", Results: map[string]Result{
+		"table/find/skew/occ=70":    {NsPerOp: 90},                    // 1.8x slower: under 2x
+		"replay/shards=8/workers=1": {NsPerOp: 3e8, AccPerSec: 0.6e6}, // 3.3x less throughput
+		"new/case":                  {NsPerOp: 1e9},                   // no baseline: skipped
+	}}
+	bad := Regressions(base, cur, 2)
+	if len(bad) != 1 || !strings.Contains(bad[0], "replay/shards=8/workers=1") {
+		t.Fatalf("Regressions = %q, want only the replay throughput row", bad)
+	}
+	if bad := Regressions(base, cur, 4); len(bad) != 0 {
+		t.Fatalf("Regressions(factor=4) = %q, want none", bad)
+	}
+	// Tighten the factor and the latency row fails too.
+	bad = Regressions(base, cur, 1.5)
+	if len(bad) != 2 {
+		t.Fatalf("Regressions(factor=1.5) = %q, want 2 rows", bad)
+	}
+}
+
 // TestBenchTableOccupancy sanity-checks the setup helper: the table
 // lands on the requested occupancy and the key list is exact.
 func TestBenchTableOccupancy(t *testing.T) {

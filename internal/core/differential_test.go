@@ -125,8 +125,8 @@ func TestFastGenericEquivalent(t *testing.T) {
 		t.Run(cfgName(cfg), func(t *testing.T) {
 			fast := NewTable[uint64](cfg)
 			gen := NewTable[uint64](cfg)
-			gen.forceGeneric = true
-			if !fast.fast || gen.forceGeneric == false {
+			gen.forceGenericPath()
+			if !fast.fast || !fast.packed() || !gen.forceGeneric || gen.packed() {
 				t.Fatal("paths not pinned as intended")
 			}
 			// ~1.3x capacity universe keeps the table near saturation.
@@ -137,6 +137,95 @@ func TestFastGenericEquivalent(t *testing.T) {
 			compareContents(t, fast, gen)
 		})
 	}
+}
+
+// diffOpsSpecial is diffOps with a key remap that plants the packed
+// layout's hazard keys into the stream: key 0 (all-zero bit pattern),
+// the reserved packedEmpty sentinel and its neighbours. Roughly a tenth
+// of the operations land on a hazard key, so the sentinel is inserted,
+// found, displaced, deleted and re-inserted many times per run.
+func diffOpsSpecial(seed uint64, n int, universe uint64) []diffOp {
+	special := []uint64{0, packedEmpty, packedEmpty + 1, packedEmpty - 1, ^uint64(0)}
+	ops := diffOps(seed, n, universe)
+	r := rng.New(seed ^ 0x5eed)
+	for i := range ops {
+		if r.Uint64()%10 == 0 {
+			ops[i].key = special[r.Uint64()%uint64(len(special))]
+		}
+	}
+	return ops
+}
+
+// TestPackedSlotLayoutEquivalent is the packed-layout acceptance test:
+// randomized runs over every differential config prove the packed
+// structure-of-arrays path is operation-for-operation identical to the
+// PR 4 interleaved-slot layout (pinned via forceGenericPath) — with key
+// 0 and the reserved sentinel value in the stream, so a stored key
+// colliding with the vacancy encoding cannot silently diverge.
+func TestPackedSlotLayoutEquivalent(t *testing.T) {
+	for _, seed := range []uint64{3, 99} {
+		for _, cfg := range diffConfigs() {
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, cfgName(cfg)), func(t *testing.T) {
+				packed := NewTable[uint64](cfg)
+				slotted := NewTable[uint64](cfg)
+				slotted.forceGenericPath()
+				if !packed.packed() || slotted.packed() {
+					t.Fatal("layouts not pinned as intended")
+				}
+				universe := uint64(cfg.Ways*cfg.SetsPerWay) * 13 / 10
+				for i, op := range diffOpsSpecial(seed, 15_000, universe) {
+					applyCompare(t, packed, slotted, i, op)
+				}
+				compareContents(t, packed, slotted)
+			})
+		}
+	}
+}
+
+// TestPackedChurnEquivalent drives both layouts through directed phases
+// the random mix only grazes: fill past saturation so the stash spills,
+// delete resident keys so the stash refills the freed slots, then
+// re-insert the deleted keys — with the hazard keys (0, the sentinel)
+// seeded among them. Every phase boundary re-checks full contents.
+func TestPackedChurnEquivalent(t *testing.T) {
+	cfg := Config{Ways: 3, SetsPerWay: 64, StashSize: 6}
+	packed := NewTable[uint64](cfg)
+	slotted := NewTable[uint64](cfg)
+	slotted.forceGenericPath()
+
+	r := rng.New(777)
+	keys := []uint64{0, packedEmpty, packedEmpty + 1}
+	for len(keys) < packed.Capacity()+cfg.StashSize+32 {
+		keys = append(keys, r.Uint64())
+	}
+	// Phase 1: overfill — late insertions exhaust the budget and spill
+	// into the stash (and beyond, forcing evictions) on both layouts.
+	for i, k := range keys {
+		applyCompare(t, packed, slotted, i, diffOp{kind: 0, key: k, val: k ^ 0xabcd})
+	}
+	compareContents(t, packed, slotted)
+	if packed.StashLen() == 0 {
+		t.Fatal("phase 1 never spilled into the stash")
+	}
+	// Phase 2: delete every other key — freed slots opportunistically
+	// refill from the stash, in identical order on both layouts.
+	deleted := keys[:0:0]
+	for i, k := range keys {
+		if i%2 == 0 {
+			applyCompare(t, packed, slotted, i, diffOp{kind: 2, key: k})
+			deleted = append(deleted, k)
+		}
+	}
+	compareContents(t, packed, slotted)
+	// Phase 3: re-insert the deleted keys (fresh values), then a find
+	// sweep over everything, hazard keys included.
+	for i, k := range deleted {
+		applyCompare(t, packed, slotted, i, diffOp{kind: 0, key: k, val: k ^ 0x1234})
+	}
+	for i, k := range keys {
+		applyCompare(t, packed, slotted, i, diffOp{kind: 1, key: k})
+	}
+	compareContents(t, packed, slotted)
 }
 
 // TestFastInterfaceEquivalent proves the devirtualized pipeline is

@@ -101,6 +101,14 @@ type slot[V any] struct {
 	valid bool
 }
 
+// packedEmpty is the reserved key sentinel of the packed layout: every
+// vacant slot of the keys array holds it, so the probe hot path decides
+// occupancy from the key compare alone. A real key MAY equal the
+// sentinel — the live bitset stays authoritative — but probes consult
+// the bitset only when the probed key itself is the sentinel, which a
+// caller hits with probability 2^-64 per random key.
+const packedEmpty uint64 = 0xfeed5eedcafe0b5e
+
 // Result reports the outcome of an Insert.
 type Result[V any] struct {
 	// Present is true when the key was already in the table; its value was
@@ -128,13 +136,31 @@ type Result[V any] struct {
 // family is resolved into a concrete hashfn.Indexer once at NewTable,
 // and the paper's single-entry-bucket design (BucketSize == 1) runs a
 // specialized path that batch-computes all d way-indices per key and
-// reuses them across the lookup pass and the displacement loop. The
-// generic bucketized path is kept for the Panigrahy ablation
-// (BucketSize > 1) and for way counts beyond hashfn.MaxWays.
+// reuses them across the lookup pass and the displacement loop.
+//
+// The fast path stores its entries in a packed structure-of-arrays
+// layout: a dense keys array (vacant slots hold the packedEmpty
+// sentinel), a parallel values array touched only on hit or
+// displacement, and a live bitset that is authoritative for occupancy
+// but read off the hot path only (vacancy checks and sentinel-key
+// probes). A d-way lookup therefore reads exactly d cache lines of
+// keys and nothing else — the paper's "touch d ways, nothing more"
+// cost model (§4.2, §5.5) realized in the memory system. d == 2
+// additionally takes an open-coded two-way case: both way indices via
+// hashfn.Indexer.Index2 and both key words loaded before the first
+// compare. The generic interleaved-slot path is kept for the Panigrahy
+// ablation (BucketSize > 1), for way counts beyond hashfn.MaxWays, and
+// as the differential-test baseline the packed layout is proven
+// op-for-op identical to.
 type Table[V any] struct {
-	cfg     Config
-	mask    uint64
-	ix      hashfn.Indexer
+	cfg  Config
+	mask uint64
+	ix   hashfn.Indexer
+	// Packed fast-path layout (nil on generic-path tables).
+	keys []uint64 // dense probe array; vacant slots hold packedEmpty
+	vals []V      // side array, touched only on hit/displacement
+	live []uint64 // occupancy bitset, 1 bit per slot; authoritative
+	// Generic interleaved layout (nil on packed tables).
 	slots   []slot[V]
 	used    int
 	nextWay int
@@ -143,9 +169,11 @@ type Table[V any] struct {
 	// fast selects the specialized single-entry-bucket pipeline
 	// (BucketSize == 1 and Ways <= hashfn.MaxWays).
 	fast bool
-	// forceGeneric pins the generic bucketized path on a fast-eligible
-	// table; the differential tests use it to prove the two paths are
-	// operation-for-operation equivalent.
+	// two selects the open-coded d=2 probe case within the fast path.
+	two bool
+	// forceGeneric pins the generic interleaved path on a fast-eligible
+	// table; the differential tests use it (via forceGenericPath) to
+	// prove the two layouts are operation-for-operation equivalent.
 	forceGeneric bool
 }
 
@@ -155,16 +183,62 @@ func NewTable[V any](cfg Config) *Table[V] {
 	cfg = cfg.normalize()
 	mask := uint64(cfg.SetsPerWay - 1)
 	t := &Table[V]{
-		cfg:   cfg,
-		mask:  mask,
-		ix:    hashfn.NewIndexer(cfg.Hash, cfg.Ways, mask),
-		slots: make([]slot[V], cfg.Ways*cfg.SetsPerWay*cfg.BucketSize),
-		fast:  cfg.BucketSize == 1 && cfg.Ways <= hashfn.MaxWays,
+		cfg:  cfg,
+		mask: mask,
+		ix:   hashfn.NewIndexer(cfg.Hash, cfg.Ways, mask),
+		fast: cfg.BucketSize == 1 && cfg.Ways <= hashfn.MaxWays,
+	}
+	if t.fast {
+		n := cfg.Ways * cfg.SetsPerWay
+		t.keys = make([]uint64, n)
+		for i := range t.keys {
+			t.keys[i] = packedEmpty
+		}
+		t.vals = make([]V, n)
+		t.live = make([]uint64, (n+63)/64)
+		t.two = cfg.Ways == 2
+	} else {
+		t.slots = make([]slot[V], cfg.Ways*cfg.SetsPerWay*cfg.BucketSize)
 	}
 	if cfg.StashSize > 0 {
 		t.stash = make([]Entry[V], 0, cfg.StashSize)
 	}
 	return t
+}
+
+// forceGenericPath pins the generic interleaved-slot path on a (still
+// empty) fast-eligible table and swaps its storage to the slot layout —
+// the differential tests' baseline hook.
+func (t *Table[V]) forceGenericPath() {
+	if t.used != 0 || len(t.stash) != 0 {
+		panic("core: forceGenericPath on a non-empty table")
+	}
+	t.forceGeneric = true
+	if t.slots == nil {
+		t.slots = make([]slot[V], t.cfg.Ways*t.cfg.SetsPerWay*t.cfg.BucketSize)
+	}
+	t.keys, t.vals, t.live = nil, nil, nil
+}
+
+// packed reports whether the table stores entries in the packed
+// structure-of-arrays layout.
+func (t *Table[V]) packed() bool { return t.keys != nil }
+
+// liveBit reports slot si's occupancy from the bitset.
+func (t *Table[V]) liveBit(si int) bool {
+	return t.live[si>>6]&(1<<(uint(si)&63)) != 0
+}
+
+// setLive / clearLive flip slot si's occupancy bit.
+func (t *Table[V]) setLive(si int)   { t.live[si>>6] |= 1 << (uint(si) & 63) }
+func (t *Table[V]) clearLive(si int) { t.live[si>>6] &^= 1 << (uint(si) & 63) }
+
+// occupied reports slot si's occupancy regardless of layout.
+func (t *Table[V]) occupied(si int) bool {
+	if t.packed() {
+		return t.liveBit(si)
+	}
+	return t.slots[si].valid
 }
 
 // Config returns the normalized configuration.
@@ -201,16 +275,22 @@ func (t *Table[V]) bucketBase(way, set int) int {
 // pointer is invalidated by any subsequent mutation of the table.
 func (t *Table[V]) Find(key uint64) *V {
 	if t.fast && !t.forceGeneric {
+		if t.two {
+			return t.find2(key)
+		}
 		var idx [hashfn.MaxWays]uint64
 		t.ix.IndexAll(key, &idx)
 		sets := t.cfg.SetsPerWay
 		for w := 0; w < t.cfg.Ways; w++ {
-			s := &t.slots[w*sets+int(idx[w])]
-			if s.valid && s.key == key {
-				return &s.val
+			si := w*sets + int(idx[w])
+			if t.keys[si] == key && (key != packedEmpty || t.liveBit(si)) {
+				return &t.vals[si]
 			}
 		}
-		return t.findStash(key)
+		if len(t.stash) != 0 {
+			return t.findStash(key)
+		}
+		return nil
 	}
 	for w := 0; w < t.cfg.Ways; w++ {
 		base := t.bucketBase(w, t.index(w, key))
@@ -221,10 +301,36 @@ func (t *Table[V]) Find(key uint64) *V {
 			}
 		}
 	}
-	return t.findStash(key)
+	if len(t.stash) != 0 {
+		return t.findStash(key)
+	}
+	return nil
 }
 
-// findStash returns a pointer to key's stash entry, or nil.
+// find2 is the open-coded d=2 probe: both way indices computed in one
+// Index2 call and both key words loaded before the first compare, so
+// the two probe-line reads issue back to back instead of serializing
+// behind the way-0 branch.
+func (t *Table[V]) find2(key uint64) *V {
+	i0, i1 := t.ix.Index2(key)
+	s0 := int(i0)
+	s1 := t.cfg.SetsPerWay + int(i1)
+	k0, k1 := t.keys[s0], t.keys[s1]
+	if k0 == key && (key != packedEmpty || t.liveBit(s0)) {
+		return &t.vals[s0]
+	}
+	if k1 == key && (key != packedEmpty || t.liveBit(s1)) {
+		return &t.vals[s1]
+	}
+	if len(t.stash) != 0 {
+		return t.findStash(key)
+	}
+	return nil
+}
+
+// findStash returns a pointer to key's stash entry, or nil. Callers
+// skip the call entirely when the stash is empty — a StashSize > 0
+// table with nothing parked pays nothing on lookups.
 func (t *Table[V]) findStash(key uint64) *V {
 	for i := range t.stash {
 		if t.stash[i].Key == key {
@@ -254,12 +360,15 @@ func (t *Table[V]) Insert(key uint64, val V) Result[V] {
 }
 
 // insertFast is the specialized Insert for the paper's single-entry-
-// bucket design: all d way-indices of the inserted key are computed in
-// one batch and reused across the lookup pass and the first displacement
-// step; displaced keys need exactly one fresh index (their next way)
-// per attempt. It is operation-for-operation equivalent to
-// insertGeneric on BucketSize == 1 tables, which the differential tests
-// verify.
+// bucket design over the packed layout: all d way-indices of the
+// inserted key are computed in one batch and reused across the lookup
+// pass and the first displacement step; displaced keys need exactly one
+// fresh index (their next way) per attempt, and every probe is a key
+// compare against the dense keys array — values move only on update or
+// displacement, and the live bitset is read only where a probed key
+// word is the vacancy sentinel. It is operation-for-operation
+// equivalent to insertGeneric on BucketSize == 1 tables, which the
+// differential tests verify.
 func (t *Table[V]) insertFast(key uint64, val V) Result[V] {
 	var idx [hashfn.MaxWays]uint64
 	t.ix.IndexAll(key, &idx)
@@ -272,28 +381,36 @@ func (t *Table[V]) insertFast(key uint64, val V) Result[V] {
 	w := t.nextWay
 	for i := 0; i < ways; i++ {
 		si := w*sets + int(idx[w])
-		s := &t.slots[si]
-		if s.valid {
-			if s.key == key {
-				s.val = val
+		if k := t.keys[si]; k == key {
+			if key != packedEmpty || t.liveBit(si) {
+				t.vals[si] = val
 				return Result[V]{Present: true}
 			}
-		} else if vacantWay == -1 {
+			// The probed word is the sentinel of a vacant slot (the key
+			// under insertion IS the sentinel value).
+			if vacantWay == -1 {
+				vacantWay, vacantSlot = w, si
+			}
+		} else if k == packedEmpty && vacantWay == -1 && !t.liveBit(si) {
 			vacantWay, vacantSlot = w, si
 		}
 		if w++; w == ways {
 			w = 0
 		}
 	}
-	for i := range t.stash {
-		if t.stash[i].Key == key {
-			t.stash[i].Val = val
-			return Result[V]{Present: true}
+	if len(t.stash) != 0 {
+		for i := range t.stash {
+			if t.stash[i].Key == key {
+				t.stash[i].Val = val
+				return Result[V]{Present: true}
+			}
 		}
 	}
 
 	if vacantWay != -1 {
-		t.slots[vacantSlot] = slot[V]{key: key, val: val, valid: true}
+		t.keys[vacantSlot] = key
+		t.vals[vacantSlot] = val
+		t.setLive(vacantSlot)
 		t.used++
 		t.nextWay = vacantWay
 		return Result[V]{Attempts: 1}
@@ -307,9 +424,11 @@ func (t *Table[V]) insertFast(key uint64, val V) Result[V] {
 	w = t.nextWay
 	set := int(idx[w])
 	for attempt := 1; ; attempt++ {
-		s := &t.slots[w*sets+set]
-		if !s.valid {
-			*s = slot[V]{key: cur.Key, val: cur.Val, valid: true}
+		si := w*sets + set
+		if t.keys[si] == packedEmpty && !t.liveBit(si) {
+			t.keys[si] = cur.Key
+			t.vals[si] = cur.Val
+			t.setLive(si)
 			t.used++
 			t.nextWay = w
 			return Result[V]{Attempts: attempt}
@@ -326,7 +445,8 @@ func (t *Table[V]) insertFast(key uint64, val V) Result[V] {
 			return Result[V]{Attempts: attempt, Evicted: &victim}
 		}
 		// Swap cur with the slot's occupant and continue in the next way.
-		cur, s.key, s.val = Entry[V]{Key: s.key, Val: s.val}, cur.Key, cur.Val
+		cur.Key, t.keys[si] = t.keys[si], cur.Key
+		cur.Val, t.vals[si] = t.vals[si], cur.Val
 		if w++; w == ways {
 			w = 0
 		}
@@ -426,16 +546,22 @@ func (t *Table[V]) Delete(key uint64) bool {
 		sets := t.cfg.SetsPerWay
 		for w := 0; w < t.cfg.Ways; w++ {
 			si := w*sets + int(idx[w])
-			s := &t.slots[si]
-			if s.valid && s.key == key {
-				var zero slot[V]
-				*s = zero
+			if t.keys[si] == key && (key != packedEmpty || t.liveBit(si)) {
+				t.keys[si] = packedEmpty
+				var zero V
+				t.vals[si] = zero
+				t.clearLive(si)
 				t.used--
-				t.drainStashInto(si)
+				if len(t.stash) != 0 {
+					t.drainStashInto(si)
+				}
 				return true
 			}
 		}
-		return t.deleteStash(key)
+		if len(t.stash) != 0 {
+			return t.deleteStash(key)
+		}
+		return false
 	}
 	for w := 0; w < t.cfg.Ways; w++ {
 		base := t.bucketBase(w, t.index(w, key))
@@ -445,12 +571,17 @@ func (t *Table[V]) Delete(key uint64) bool {
 				var zero slot[V]
 				*s = zero
 				t.used--
-				t.drainStashInto(base + b)
+				if len(t.stash) != 0 {
+					t.drainStashInto(base + b)
+				}
 				return true
 			}
 		}
 	}
-	return t.deleteStash(key)
+	if len(t.stash) != 0 {
+		return t.deleteStash(key)
+	}
+	return false
 }
 
 // deleteStash removes key's stash entry, if any.
@@ -475,7 +606,13 @@ func (t *Table[V]) drainStashInto(slotIdx int) {
 	set := (slotIdx / t.cfg.BucketSize) % t.cfg.SetsPerWay
 	for i := range t.stash {
 		if t.index(way, t.stash[i].Key) == set {
-			t.slots[slotIdx] = slot[V]{key: t.stash[i].Key, val: t.stash[i].Val, valid: true}
+			if t.packed() {
+				t.keys[slotIdx] = t.stash[i].Key
+				t.vals[slotIdx] = t.stash[i].Val
+				t.setLive(slotIdx)
+			} else {
+				t.slots[slotIdx] = slot[V]{key: t.stash[i].Key, val: t.stash[i].Val, valid: true}
+			}
 			t.used++
 			t.stash[i] = t.stash[len(t.stash)-1]
 			t.stash = t.stash[:len(t.stash)-1]
@@ -487,10 +624,20 @@ func (t *Table[V]) drainStashInto(slotIdx int) {
 // ForEach calls fn for every entry (table then stash) until fn returns
 // false. Iteration order is unspecified but deterministic.
 func (t *Table[V]) ForEach(fn func(Entry[V]) bool) {
-	for i := range t.slots {
-		if t.slots[i].valid {
-			if !fn(Entry[V]{Key: t.slots[i].key, Val: t.slots[i].val}) {
-				return
+	if t.packed() {
+		for i, k := range t.keys {
+			if k != packedEmpty || t.liveBit(i) {
+				if !fn(Entry[V]{Key: k, Val: t.vals[i]}) {
+					return
+				}
+			}
+		}
+	} else {
+		for i := range t.slots {
+			if t.slots[i].valid {
+				if !fn(Entry[V]{Key: t.slots[i].key, Val: t.slots[i].val}) {
+					return
+				}
 			}
 		}
 	}
@@ -503,9 +650,22 @@ func (t *Table[V]) ForEach(fn func(Entry[V]) bool) {
 
 // Clear removes all entries.
 func (t *Table[V]) Clear() {
-	for i := range t.slots {
-		var zero slot[V]
-		t.slots[i] = zero
+	if t.packed() {
+		for i := range t.keys {
+			t.keys[i] = packedEmpty
+		}
+		var zero V
+		for i := range t.vals {
+			t.vals[i] = zero
+		}
+		for i := range t.live {
+			t.live[i] = 0
+		}
+	} else {
+		for i := range t.slots {
+			var zero slot[V]
+			t.slots[i] = zero
+		}
 	}
 	t.stash = t.stash[:0]
 	t.used = 0

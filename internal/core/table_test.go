@@ -468,7 +468,7 @@ func TestWayDistributionUniform(t *testing.T) {
 	for w := 0; w < cfg.Ways; w++ {
 		count := 0
 		for s := 0; s < cfg.SetsPerWay; s++ {
-			if tb.slots[tb.bucketBase(w, s)].valid {
+			if tb.occupied(tb.bucketBase(w, s)) {
 				count++
 			}
 		}

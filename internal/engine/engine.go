@@ -15,9 +15,15 @@
 // # Queues and ordering
 //
 // Every shard is statically assigned to one drainer (shard mod
-// Drainers); each drainer owns one bounded MPSC queue (a Go channel —
-// multiple producers, a single consumer). Submission routes each access
-// to its home shard's queue, so:
+// Drainers); each drainer owns one bounded MPSC ring (a buffered Go
+// channel — multiple producers, a single consumer). A submission
+// coalesces each whole sub-batch payload into a SINGLE queue element,
+// and the drainer amortizes in the other direction too: it pops a RUN —
+// every request already queued behind the first blocking pop — and
+// applies a whole run's accesses per shard under one ApplyShardOps
+// call (see drain), so a backlog costs one wake-up and one shard-lock
+// acquisition instead of one per submission. Submission routes each
+// access to its home shard's queue, so:
 //
 //   - Requests to the SAME shard complete in submission order (per-shard
 //     FIFO): one producer's submissions are ordered by its program
@@ -567,87 +573,164 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// drain is one drainer goroutine: it pops requests off its queue and
-// applies each as shard-affine ApplyShardOps batches, then completes
-// the request's ticket. With the default one-drainer-per-shard layout a
-// request is a single pre-routed run — one lock acquisition, no
-// grouping pass; with grouped shards (Drainers < ShardCount) the run is
-// partitioned by home shard first.
+// Coalescing bounds: a drainer pops at most maxCoalesceReqs queued
+// requests (or maxCoalesceAccs accumulated accesses) into one run
+// before applying, so scratch memory stays bounded while the
+// amortization win — one shard-lock acquisition and one scheduling
+// round-trip for a whole backlog — is kept.
+const (
+	maxCoalesceReqs = 64
+	maxCoalesceAccs = 8192
+)
+
+// drain is one drainer goroutine: it pops RUNS of requests off its
+// bounded ring — the first pop blocks, then every request already
+// queued behind it is taken without blocking (up to the coalescing
+// bounds) — and applies each run's accesses for a shard through ONE
+// ApplyShardOps call. This is the batch-amortized drain closing the
+// queue-transfer gap vs. direct ApplyShard: while the drainer applies,
+// producers deepen the queue, and the whole backlog then costs one
+// wake-up, one lock acquisition per touched shard and one validation
+// pass, instead of one of each per submission. Per-queue FIFO is
+// preserved (runs concatenate in pop order; barriers and stop cut a
+// run and are handled after the requests popped before them).
 func (e *Engine) drain(qi int) {
 	defer e.wg.Done()
 	q := e.queues[qi]
 	singleShard := e.opt.Drainers == e.dir.ShardCount()
-	var scratchOps []directory.Op
-	var scratchAccs []directory.Access
-	// buckets[b] holds the in-request positions of the accesses homing
-	// onto shard qi+b*Drainers (the shards this drainer serves).
+	var run []request
+	var concatAccs []directory.Access // run's accesses, concatenated
+	var concatOps []directory.Op      // their Ops, in concat order
+	var gatherAccs []directory.Access // per-shard gather (grouped path)
+	var gatherOps []directory.Op
+	// buckets[b] holds the concat positions of the accesses homing onto
+	// shard qi+b*Drainers (the shards this drainer serves).
 	buckets := make([][]int32, (e.dir.ShardCount()-qi+e.opt.Drainers-1)/e.opt.Drainers)
-	for r := range q {
-		switch {
-		case r.stop:
-			return
-		case r.barrier:
-			r.t.complete()
-			continue
+	for {
+		r := <-q
+		// Pop a run: r plus everything already queued, until a barrier
+		// or stop sentinel (processed after the run) or a bound trips.
+		run = run[:0]
+		var tail *request
+		accs := 0
+		for {
+			if r.barrier || r.stop {
+				tail = &r
+				break
+			}
+			run = append(run, r)
+			accs += len(r.accs)
+			if len(run) == maxCoalesceReqs || accs >= maxCoalesceAccs {
+				break
+			}
+			select {
+			case r = <-q:
+				continue
+			default:
+			}
+			break
 		}
-		if singleShard {
-			// The queue serves exactly one shard: qi itself.
-			e.apply(qi, r.accs, r, nil, &scratchOps)
-		} else {
-			// Partition the run by home shard, preserving order.
-			for b := range buckets {
-				buckets[b] = buckets[b][:0]
-			}
-			for i, a := range r.accs {
-				h := e.dir.ShardOf(a.Addr)
-				b := (h - qi) / e.opt.Drainers
-				buckets[b] = append(buckets[b], int32(i))
-			}
-			for b, idxs := range buckets {
-				if len(idxs) == 0 {
-					continue
-				}
-				scratchAccs = scratchAccs[:0]
-				for _, i := range idxs {
-					scratchAccs = append(scratchAccs, r.accs[i])
-				}
-				e.apply(qi+b*e.opt.Drainers, scratchAccs, r, idxs, &scratchOps)
-			}
+		if len(run) > 0 {
+			e.applyRun(qi, run, singleShard, buckets, &concatAccs, &concatOps, &gatherAccs, &gatherOps)
 		}
-		e.finish(qi, r)
+		if tail != nil {
+			if tail.stop {
+				return
+			}
+			tail.t.complete()
+		}
 	}
 }
 
-// apply executes one shard-affine run of request r and lands its Ops in
-// the right slots. runIdx, when non-nil, maps run position k to the
-// in-request position runIdx[k] (the grouped-shards path); otherwise
-// the run IS r.accs.
-func (e *Engine) apply(shard int, accs []directory.Access, r request, runIdx []int32, scratch *[]directory.Op) {
-	if r.ops == nil && r.idxs == nil {
-		e.dir.ApplyShardOps(shard, accs, nil)
-		return
-	}
-	// Fast path: a contiguous whole-request run writes straight into the
-	// ticket's storage.
-	if runIdx == nil && r.ops != nil {
-		e.dir.ApplyShardOps(shard, accs, r.ops)
-		return
-	}
-	if cap(*scratch) < len(accs) {
-		*scratch = make([]directory.Op, len(accs))
-	}
-	ops := (*scratch)[:len(accs)]
-	e.dir.ApplyShardOps(shard, accs, ops)
-	for k := range accs {
-		pos := k
-		if runIdx != nil {
-			pos = int(runIdx[k])
+// applyRun applies one popped run. The run's requests are concatenated
+// in pop order into a single access stream; on the one-drainer-per-
+// shard layout that stream is applied with ONE ApplyShardOps call,
+// while grouped shards (Drainers < ShardCount) partition the
+// concatenation by home shard first — one call per touched shard for
+// the WHOLE run, not per request. Ops are recorded into a run-ordered
+// scratch and scattered back to each request's destination afterwards;
+// a run without any recording request skips Op storage entirely, and a
+// single-request run applies in place with no concatenation copy.
+func (e *Engine) applyRun(qi int, run []request, singleShard bool, buckets [][]int32,
+	concatAccs *[]directory.Access, concatOps *[]directory.Op,
+	gatherAccs *[]directory.Access, gatherOps *[]directory.Op) {
+	total, recording := 0, false
+	for i := range run {
+		total += len(run[i].accs)
+		if run[i].ops != nil || run[i].idxs != nil {
+			recording = true
 		}
-		if r.idxs != nil {
-			r.t.ops[r.idxs[pos]] = ops[k]
+	}
+	// The concatenated view; a single-request run aliases its accesses.
+	view := run[0].accs
+	if len(run) > 1 {
+		*concatAccs = append((*concatAccs)[:0], run[0].accs...)
+		for i := 1; i < len(run); i++ {
+			*concatAccs = append(*concatAccs, run[i].accs...)
+		}
+		view = *concatAccs
+	}
+	var ops []directory.Op
+	if recording {
+		// A lone whole-batch request writes straight into its ticket's
+		// storage — no scatter copy at all.
+		if len(run) == 1 && run[0].ops != nil {
+			ops = run[0].ops
 		} else {
-			r.ops[pos] = ops[k]
+			if cap(*concatOps) < total {
+				*concatOps = make([]directory.Op, total)
+			}
+			ops = (*concatOps)[:total]
 		}
+	}
+	if singleShard {
+		e.dir.ApplyShardOps(qi, view, ops)
+	} else {
+		// Partition the concatenation by home shard, preserving order.
+		for b := range buckets {
+			buckets[b] = buckets[b][:0]
+		}
+		for i, a := range view {
+			h := e.dir.ShardOf(a.Addr)
+			buckets[(h-qi)/e.opt.Drainers] = append(buckets[(h-qi)/e.opt.Drainers], int32(i))
+		}
+		for b, idxs := range buckets {
+			if len(idxs) == 0 {
+				continue
+			}
+			*gatherAccs = (*gatherAccs)[:0]
+			for _, i := range idxs {
+				*gatherAccs = append(*gatherAccs, view[i])
+			}
+			if ops == nil {
+				e.dir.ApplyShardOps(qi+b*e.opt.Drainers, *gatherAccs, nil)
+				continue
+			}
+			if cap(*gatherOps) < len(idxs) {
+				*gatherOps = make([]directory.Op, len(idxs))
+			}
+			gops := (*gatherOps)[:len(idxs)]
+			e.dir.ApplyShardOps(qi+b*e.opt.Drainers, *gatherAccs, gops)
+			for k, i := range idxs {
+				ops[i] = gops[k]
+			}
+		}
+	}
+	// Scatter each request's Op span to its destination and retire it,
+	// in pop order.
+	off := 0
+	for i := range run {
+		r := run[i]
+		n := len(r.accs)
+		if r.idxs != nil {
+			for k := 0; k < n; k++ {
+				r.t.ops[r.idxs[k]] = ops[off+k]
+			}
+		} else if r.ops != nil && &r.ops[0] != &ops[off] {
+			copy(r.ops, ops[off:off+n])
+		}
+		off += n
+		e.finish(qi, r)
 	}
 }
 

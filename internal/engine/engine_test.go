@@ -289,6 +289,96 @@ func TestCloseSemantics(t *testing.T) {
 	}
 }
 
+// TestCoalescedRunsMatchSequential pins the batch-amortized drain: a
+// stalled drainer accumulates a backlog of mixed submissions (recorded
+// batches, singles, detached), which it must then pop as coalesced runs
+// — single-shard runs in one ApplyShardOps call, grouped-shard runs
+// partitioned once per run — without perturbing per-access Ops, FIFO
+// order or final state relative to the sequential reference.
+func TestCoalescedRunsMatchSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+		opts   Options
+	}{
+		{"single-shard", 1, Options{QueueDepth: 512}},
+		{"grouped-shards", 8, Options{Drainers: 1, QueueDepth: 512}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := testDir(t, tc.shards)
+			ref := testDir(t, tc.shards)
+			// Seed a block on shard 0 so blockShard stalls the drainer
+			// serving it.
+			seed := uint64(0x40)
+			for dir.ShardOf(seed) != 0 {
+				seed += 0x40
+			}
+			dir.Read(seed, 0)
+			ref.Read(seed, 0)
+			eng, err := New(dir, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			accs := randomAccesses(21, 3000)
+			want := applySequential(ref, accs)
+
+			release := blockShard(t, dir)
+			ctx := context.Background()
+			var tickets []*Ticket
+			var spans []int
+			r := rng.New(5)
+			for base := 0; base < len(accs); {
+				n := 1 + int(r.Uint64()%63)
+				if base+n > len(accs) {
+					n = len(accs) - base
+				}
+				switch r.Uint64() % 3 {
+				case 0:
+					tk, err := eng.SubmitBatch(ctx, accs[base:base+n])
+					if err != nil {
+						t.Fatal(err)
+					}
+					tickets, spans = append(tickets, tk), append(spans, base)
+				case 1:
+					tk, err := eng.Submit(ctx, accs[base])
+					if err != nil {
+						t.Fatal(err)
+					}
+					tickets, spans = append(tickets, tk), append(spans, base)
+					n = 1
+				default:
+					if err := eng.SubmitDetached(ctx, accs[base:base+n]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				base += n
+			}
+			// Everything above queued against the stalled drainer, so the
+			// release drains it in maximally coalesced runs.
+			release()
+			if err := eng.Flush(ctx); err != nil {
+				t.Fatal(err)
+			}
+			for i, tk := range tickets {
+				ops := tk.Ops()
+				for k, op := range ops {
+					if !reflect.DeepEqual(op, want[spans[i]+k]) {
+						t.Fatalf("ticket %d op %d diverged from sequential reference", i, k)
+					}
+				}
+			}
+			st := eng.Stats()
+			if st.SubmittedAccesses != uint64(len(accs)) || st.CompletedAccesses != uint64(len(accs)) {
+				t.Fatalf("accesses submitted/completed = %d/%d, want %d", st.SubmittedAccesses, st.CompletedAccesses, len(accs))
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sameState(t, dir, ref)
+		})
+	}
+}
+
 // blockShard parks a goroutine inside dir.ForEach's per-shard lock so a
 // drainer targeting that shard stalls; returns the release func. The
 // directory must already track at least one block on the shard.
@@ -375,9 +465,11 @@ func TestBlockWhenFullHonorsContext(t *testing.T) {
 	}
 	release := blockShard(t, dir)
 	ctx := context.Background()
-	// Saturate: the stalled drainer may have popped one request, so a
-	// couple of sends fill the 1-deep queue.
-	for i := 0; i < 2; i++ {
+	// Saturate: the stalled drainer may have popped a whole run of
+	// requests into its coalescing buffer before blocking in the apply,
+	// so up to maxCoalesceReqs+1 sends can be absorbed beyond the 1-deep
+	// ring before a submitter truly blocks.
+	for i := 0; i < maxCoalesceReqs+4; i++ {
 		cctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
 		err = eng.SubmitDetached(cctx, []directory.Access{{Kind: directory.AccessRead, Addr: uint64(i), Cache: 1}})
 		cancel()

@@ -109,6 +109,32 @@ func (ix *Indexer) Index(way int, key uint64) uint64 {
 	}
 }
 
+// Index2 returns key's set indices in ways 0 and 1 in one call —
+// bit-identical to IndexAll's dst[0] and dst[1]. It is the open-coded
+// two-way form the d=2 probe fast case is layered on: both indices come
+// back before the caller's first key compare, and the skewing family's
+// way-0 rotations (both zero) are folded away instead of looked up.
+// Only valid on indexers built with ways >= 2.
+func (ix *Indexer) Index2(key uint64) (uint64, uint64) {
+	switch ix.kind {
+	case ixSkew:
+		n, nmask := ix.n, ix.nmask
+		a1 := key & nmask
+		a2 := skewFold(key, n, nmask)
+		// Way 0 rotates both fields by sigma^0 = 0, so its index is the
+		// plain field XOR.
+		return (a1 ^ a2) & ix.mask,
+			(rotN(a1, ix.rotA[1], n, nmask) ^ rotN(a2, ix.rotB[1], n, nmask)) & ix.mask
+	case ixStrong:
+		return strongHash(0, key) & ix.mask, strongHash(1, key) & ix.mask
+	case ixXorFold:
+		v := key & ix.mask
+		return v, v
+	default:
+		return ix.fam.Hash(0, key) & ix.mask, ix.fam.Hash(1, key) & ix.mask
+	}
+}
+
 // Opaque wraps a family so NewIndexer cannot recognize its concrete
 // type, forcing the interface-dispatch fallback. It is the reference
 // path the differential tests and the pre-/post-devirtualization

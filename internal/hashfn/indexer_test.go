@@ -47,6 +47,12 @@ func TestIndexerBitIdentical(t *testing.T) {
 					if ix.Batched() {
 						ix.IndexAll(key, &all)
 					}
+					if ways >= 2 {
+						if i0, i1 := ix.Index2(key); i0 != Index(f, 0, key, mask) || i1 != Index(f, 1, key, mask) {
+							t.Fatalf("%s ways=%d sets=%d: Index2(%#x) = (%#x, %#x), want (%#x, %#x)",
+								f.Name(), ways, sets, key, i0, i1, Index(f, 0, key, mask), Index(f, 1, key, mask))
+						}
+					}
 					for w := 0; w < ways; w++ {
 						want := Index(f, w, key, mask)
 						if got := ix.Index(w, key); got != want {
