@@ -38,6 +38,8 @@ type Forced struct {
 }
 
 // DirStats aggregates a directory slice's behaviour.
+//
+//cuckoo:stats merge=Merge
 type DirStats struct {
 	// Events counts the five directory event classes.
 	Events *stats.CounterSet

@@ -273,6 +273,8 @@ func (t *Table[V]) bucketBase(way, set int) int {
 
 // Find returns a pointer to the value stored under key, or nil. The
 // pointer is invalidated by any subsequent mutation of the table.
+//
+//cuckoo:hotpath
 func (t *Table[V]) Find(key uint64) *V {
 	if t.fast && !t.forceGeneric {
 		if t.two {
@@ -311,6 +313,8 @@ func (t *Table[V]) Find(key uint64) *V {
 // Index2 call and both key words loaded before the first compare, so
 // the two probe-line reads issue back to back instead of serializing
 // behind the way-0 branch.
+//
+//cuckoo:hotpath
 func (t *Table[V]) find2(key uint64) *V {
 	i0, i1 := t.ix.Index2(key)
 	s0 := int(i0)
@@ -352,6 +356,8 @@ func (t *Table[V]) Contains(key uint64) bool { return t.Find(key) != nil }
 // advancing cyclically, each write counting one attempt, until a displaced
 // entry lands in a vacant slot or the budget is exhausted — in which case
 // the most recently displaced entry is discarded (or stashed).
+//
+//cuckoo:hotpath
 func (t *Table[V]) Insert(key uint64, val V) Result[V] {
 	if t.fast && !t.forceGeneric {
 		return t.insertFast(key, val)
@@ -369,6 +375,8 @@ func (t *Table[V]) Insert(key uint64, val V) Result[V] {
 // word is the vacancy sentinel. It is operation-for-operation
 // equivalent to insertGeneric on BucketSize == 1 tables, which the
 // differential tests verify.
+//
+//cuckoo:hotpath
 func (t *Table[V]) insertFast(key uint64, val V) Result[V] {
 	var idx [hashfn.MaxWays]uint64
 	t.ix.IndexAll(key, &idx)
@@ -441,6 +449,7 @@ func (t *Table[V]) insertFast(key uint64, val V) Result[V] {
 				t.stash = append(t.stash, cur)
 				return Result[V]{Attempts: attempt, Stashed: true}
 			}
+			//cuckoo:ignore the evicted entry escapes by API contract (Result.Evicted is a pointer) and only on the budget-exhausted path
 			victim := cur
 			return Result[V]{Attempts: attempt, Evicted: &victim}
 		}
@@ -539,6 +548,8 @@ func (t *Table[V]) insertGeneric(key uint64, val V) Result[V] {
 // present. When the delete frees a slot and the stash holds entries, one
 // stash entry eligible for the freed position is opportunistically moved
 // back into the table.
+//
+//cuckoo:hotpath
 func (t *Table[V]) Delete(key uint64) bool {
 	if t.fast && !t.forceGeneric {
 		var idx [hashfn.MaxWays]uint64

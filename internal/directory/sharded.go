@@ -121,6 +121,8 @@ type ShardedDirectory struct {
 // ROADMAP "per-shard stats without global stalls"). The full merged
 // DirStats snapshot (event mix, attempt histogram, occupancy samples)
 // still requires Stats, which locks each shard once.
+//
+//cuckoo:stats merge=add
 type ShardCounters struct {
 	// Reads, Writes and Evicts count dispatched operations by kind.
 	Reads, Writes, Evicts uint64
@@ -191,6 +193,8 @@ type shardCtr struct {
 
 // flush adds a local aggregate into the shard's atomics, skipping
 // fields with nothing to add.
+//
+//cuckoo:hotpath
 func (ctr *shardCtr) flush(c ShardCounters) {
 	if c.Reads != 0 {
 		ctr.reads.Add(c.Reads)
@@ -323,6 +327,8 @@ func (s *ShardedDirectory) Home() Home { return s.homeKind }
 // whose accesses all share one home shard takes Apply's inline
 // single-lock fast path, so parallelism can come from concurrent
 // callers instead of Apply's internal fan-out.
+//
+//cuckoo:hotpath
 func (s *ShardedDirectory) ShardOf(addr uint64) int { return s.home(addr) }
 
 // home returns the shard index of addr. Under the default HomeMix the
@@ -481,6 +487,8 @@ func (s *ShardedDirectory) Apply(accesses []Access) []Op {
 // ApplyShardOps). Like Apply, the whole batch is validated up front on
 // the caller's stack — unknown kinds, out-of-range caches and accesses
 // homing onto a different shard panic before anything is applied.
+//
+//cuckoo:hotpath
 func (s *ShardedDirectory) ApplyShard(h int, accesses []Access) {
 	s.ApplyShardOps(h, accesses, nil)
 }
@@ -491,28 +499,32 @@ func (s *ShardedDirectory) ApplyShard(h int, accesses []Access) {
 // engine's drainers use — one lock acquisition per call, results
 // written into caller-owned storage so ticket slots can be filled
 // without an intermediate Op slice allocation. A nil ops is exactly
-// ApplyShard.
+// ApplyShard. Validation failures panic out of line (the cold helpers
+// below) so the hot body carries no formatting machinery; the lock is
+// released explicitly rather than deferred — nothing between Lock and
+// Unlock can fail once the batch has validated.
+//
+//cuckoo:hotpath
 func (s *ShardedDirectory) ApplyShardOps(h int, accesses []Access, ops []Op) {
 	if h < 0 || h >= len(s.shards) {
-		panic(fmt.Sprintf("directory: ApplyShard: shard %d out of range (have %d)", h, len(s.shards)))
+		badShard(h, len(s.shards))
 	}
 	if ops != nil && len(ops) != len(accesses) {
-		panic(fmt.Sprintf("directory: ApplyShardOps: %d ops slots for %d accesses", len(ops), len(accesses)))
+		badOpsLen(len(ops), len(accesses))
 	}
 	for _, a := range accesses {
 		if a.Kind > AccessEvict {
-			panic(fmt.Sprintf("directory: ApplyShard: unknown access kind %d", a.Kind))
+			badKind(a.Kind)
 		}
 		if a.Cache < 0 || a.Cache >= s.numCaches {
-			panic(fmt.Sprintf("directory: ApplyShard: cache %d out of range (tracking %d)", a.Cache, s.numCaches))
+			badCache(a.Cache, s.numCaches)
 		}
 		if s.home(a.Addr) != h {
-			panic(fmt.Sprintf("directory: ApplyShard: address %#x homes onto shard %d, not %d", a.Addr, s.home(a.Addr), h))
+			badHome(a.Addr, s.home(a.Addr), h)
 		}
 	}
 	sh := s.shards[h]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	var c ShardCounters
 	if ops == nil {
 		for _, a := range accesses {
@@ -525,20 +537,68 @@ func (s *ShardedDirectory) ApplyShardOps(h int, accesses []Access, ops []Op) {
 		}
 	}
 	sh.ctr.flush(c)
+	sh.mu.Unlock()
 }
 
-// applyOne dispatches one access on an already-locked slice.
+// Out-of-line validation failures: each is a separate noinline function
+// so its fmt call and panic frame stay off the applier's hot path.
+
+//
+//cuckoo:cold
+//go:noinline
+func badShard(h, n int) {
+	panic(fmt.Sprintf("directory: ApplyShard: shard %d out of range (have %d)", h, n))
+}
+
+//
+//cuckoo:cold
+//go:noinline
+func badOpsLen(ops, accs int) {
+	panic(fmt.Sprintf("directory: ApplyShardOps: %d ops slots for %d accesses", ops, accs))
+}
+
+//
+//cuckoo:cold
+//go:noinline
+func badKind(k AccessKind) {
+	panic(fmt.Sprintf("directory: ApplyShard: unknown access kind %d", k))
+}
+
+//
+//cuckoo:cold
+//go:noinline
+func badCache(c, n int) {
+	panic(fmt.Sprintf("directory: ApplyShard: cache %d out of range (tracking %d)", c, n))
+}
+
+//
+//cuckoo:cold
+//go:noinline
+func badHome(addr uint64, got, want int) {
+	panic(fmt.Sprintf("directory: ApplyShard: address %#x homes onto shard %d, not %d", addr, got, want))
+}
+
+// applyOne dispatches one access on an already-locked slice. The
+// Directory dispatch is interface dispatch BY DESIGN — a shard holds
+// any slice implementation — so the three calls carry ignore
+// directives rather than devirtualization.
+//
+//cuckoo:hotpath
 func applyOne(d Directory, a Access) Op {
 	switch a.Kind {
 	case AccessRead:
+		//cuckoo:ignore slice polymorphism: a shard dispatches to any Directory implementation by design
 		return d.Read(a.Addr, a.Cache)
 	case AccessWrite:
+		//cuckoo:ignore slice polymorphism: a shard dispatches to any Directory implementation by design
 		return d.Write(a.Addr, a.Cache)
 	case AccessEvict:
+		//cuckoo:ignore slice polymorphism: a shard dispatches to any Directory implementation by design
 		d.Evict(a.Addr, a.Cache)
 		return Op{}
 	default:
-		panic(fmt.Sprintf("directory: Apply: unknown access kind %d", a.Kind))
+		badKind(a.Kind)
+		return Op{}
 	}
 }
 

@@ -200,16 +200,21 @@ func (t *Ticket) Op() directory.Op { return t.Ops()[0] }
 
 // complete retires one request of the ticket; the last one fires the
 // callback and closes done.
+//
+//cuckoo:hotpath
 func (t *Ticket) complete() {
 	if t.pending.Add(-1) == 0 {
 		if t.fn != nil && !t.abandoned.Load() {
 			t.fn(t.ops)
 		}
+		//cuckoo:ignore ticket completion IS the channel close; Done() waiters unblock on it
 		close(t.done)
 	}
 }
 
 // Stats is a snapshot of an engine's submission counters.
+//
+//cuckoo:stats merge=Merge
 type Stats struct {
 	// SubmittedAccesses / CompletedAccesses count individual accesses
 	// accepted into queues and applied to the directory.
@@ -223,6 +228,28 @@ type Stats struct {
 	Rejected uint64
 	// Flushes counts Flush barriers completed.
 	Flushes uint64
+}
+
+// Merge accumulates another snapshot into s — the aggregation path for
+// multi-engine deployments (one engine per directory partition). Every
+// Stats field must be consumed here; the statsmerge analyzer enforces
+// it.
+func (s *Stats) Merge(o Stats) {
+	s.SubmittedAccesses += o.SubmittedAccesses
+	s.CompletedAccesses += o.CompletedAccesses
+	s.SubmittedRequests += o.SubmittedRequests
+	s.CompletedRequests += o.CompletedRequests
+	s.Rejected += o.Rejected
+	s.Flushes += o.Flushes
+}
+
+// MergeStats merges engine snapshots into one fresh aggregate.
+func MergeStats(snaps ...Stats) Stats {
+	var agg Stats
+	for _, s := range snaps {
+		agg.Merge(s)
+	}
+	return agg
 }
 
 // Engine is the asynchronous submission front-end. It is safe for
@@ -240,6 +267,10 @@ type Engine struct {
 	mu     sync.RWMutex
 	closed bool
 	wg     sync.WaitGroup
+
+	// The stats counters are polled lock-free while mu's word bounces
+	// between submitters; keep them a full cache line away.
+	_ [64]byte
 
 	subAcc, cmpAcc, subReq, cmpReq, rejected, flushes atomic.Uint64
 }
@@ -594,19 +625,29 @@ const (
 // pass, instead of one of each per submission. Per-queue FIFO is
 // preserved (runs concatenate in pop order; barriers and stop cut a
 // run and are handled after the requests popped before them).
+// Lifecycle bookkeeping (the deferred WaitGroup release) lives here;
+// the pop/apply loop itself is drainLoop, the annotated hot path.
 func (e *Engine) drain(qi int) {
 	defer e.wg.Done()
-	q := e.queues[qi]
-	singleShard := e.opt.Drainers == e.dir.ShardCount()
+	// buckets[b] holds the concat positions of the accesses homing onto
+	// shard qi+b*Drainers (the shards this drainer serves).
+	buckets := make([][]int32, (e.dir.ShardCount()-qi+e.opt.Drainers-1)/e.opt.Drainers)
+	e.drainLoop(qi, e.queues[qi], e.opt.Drainers == e.dir.ShardCount(), buckets)
+}
+
+// drainLoop is the drainer's run loop. Its queue IS a channel — the
+// pops carry ignore directives; everything else on the loop honors the
+// hot-path contract.
+//
+//cuckoo:hotpath
+func (e *Engine) drainLoop(qi int, q chan request, singleShard bool, buckets [][]int32) {
 	var run []request
 	var concatAccs []directory.Access // run's accesses, concatenated
 	var concatOps []directory.Op      // their Ops, in concat order
 	var gatherAccs []directory.Access // per-shard gather (grouped path)
 	var gatherOps []directory.Op
-	// buckets[b] holds the concat positions of the accesses homing onto
-	// shard qi+b*Drainers (the shards this drainer serves).
-	buckets := make([][]int32, (e.dir.ShardCount()-qi+e.opt.Drainers-1)/e.opt.Drainers)
 	for {
+		//cuckoo:ignore the request queue is a channel by design; this is the drainer's blocking pop
 		r := <-q
 		// Pop a run: r plus everything already queued, until a barrier
 		// or stop sentinel (processed after the run) or a bound trips.
@@ -623,6 +664,7 @@ func (e *Engine) drain(qi int) {
 			if len(run) == maxCoalesceReqs || accs >= maxCoalesceAccs {
 				break
 			}
+			//cuckoo:ignore the non-blocking coalescing pop off the channel queue, by design
 			select {
 			case r = <-q:
 				continue

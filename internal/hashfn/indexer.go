@@ -87,6 +87,8 @@ func (ix *Indexer) Batched() bool { return ix.ways <= MaxWays }
 // Index returns the set index of key in the given way — bit-identical
 // to Index(Family(), way, key, setMask) for every way, including ways
 // beyond MaxWays.
+//
+//cuckoo:hotpath
 func (ix *Indexer) Index(way int, key uint64) uint64 {
 	switch ix.kind {
 	case ixSkew:
@@ -105,6 +107,7 @@ func (ix *Indexer) Index(way int, key uint64) uint64 {
 	case ixXorFold:
 		return key & ix.mask
 	default:
+		//cuckoo:ignore unknown-family fallback: interface dispatch is the documented slow path
 		return ix.fam.Hash(way, key) & ix.mask
 	}
 }
@@ -115,6 +118,8 @@ func (ix *Indexer) Index(way int, key uint64) uint64 {
 // back before the caller's first key compare, and the skewing family's
 // way-0 rotations (both zero) are folded away instead of looked up.
 // Only valid on indexers built with ways >= 2.
+//
+//cuckoo:hotpath
 func (ix *Indexer) Index2(key uint64) (uint64, uint64) {
 	switch ix.kind {
 	case ixSkew:
@@ -131,6 +136,7 @@ func (ix *Indexer) Index2(key uint64) (uint64, uint64) {
 		v := key & ix.mask
 		return v, v
 	default:
+		//cuckoo:ignore unknown-family fallback: interface dispatch is the documented slow path
 		return ix.fam.Hash(0, key) & ix.mask, ix.fam.Hash(1, key) & ix.mask
 	}
 }
@@ -153,6 +159,8 @@ func (o opaque) Hash(way int, key uint64) uint64 { return o.f.Hash(way, key) }
 // way w's index to dst[w]. Per-key work that the per-way interface
 // repeats — the skewing family's field extraction and upper-field fold —
 // happens once. Only valid when Batched() (ways <= MaxWays).
+//
+//cuckoo:hotpath
 func (ix *Indexer) IndexAll(key uint64, dst *[MaxWays]uint64) {
 	switch ix.kind {
 	case ixSkew:
@@ -173,6 +181,7 @@ func (ix *Indexer) IndexAll(key uint64, dst *[MaxWays]uint64) {
 		}
 	default:
 		for w := 0; w < ix.ways; w++ {
+			//cuckoo:ignore unknown-family fallback: interface dispatch is the documented slow path
 			dst[w] = ix.fam.Hash(w, key) & ix.mask
 		}
 	}

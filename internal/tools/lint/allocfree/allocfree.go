@@ -1,0 +1,306 @@
+// Package allocfree is the escape-analysis guard of the cuckoolint
+// suite: it compiles packages with `go build -gcflags=-m`, parses the
+// compiler's escape diagnostics, and fails when a //cuckoo:hotpath
+// function gains a heap allocation — the zero-allocation find path PRs
+// 4-6 measured is a contract, not a property that happens to hold.
+//
+// Unlike the AST analyzers in internal/tools/lint, this guard reads
+// COMPILER output: escape analysis is whole-function dataflow the AST
+// cannot reproduce, so the compiler's own verdict is the only honest
+// source. The guard is therefore a harness (a function tests and the
+// cuckoolint -escapes flag call), not an Analyzer.
+//
+// A diagnostic inside a hotpath function is suppressed by a
+// //cuckoo:ignore <reason> comment on its line or the line above —
+// the same grammar the AST analyzers honor (e.g. the eviction result
+// that escapes by API contract, or the engine's amortized scratch
+// growth).
+//
+// When the toolchain emits no escape diagnostics at all (a compiler
+// that ignores -m), Check returns ErrNoEscapeOutput and callers skip
+// instead of passing vacuously.
+package allocfree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrNoEscapeOutput reports a toolchain that produced no -m escape
+// diagnostics anywhere — the guard cannot distinguish "no escapes"
+// from "-m unsupported", so callers must skip, not pass.
+var ErrNoEscapeOutput = errors.New("allocfree: go build -gcflags=-m produced no escape diagnostics")
+
+// Finding is one heap allocation inside a //cuckoo:hotpath function.
+type Finding struct {
+	Pos      token.Position // allocation site
+	Func     string         // annotated function containing it
+	Message  string         // compiler diagnostic ("moved to heap: victim")
+	FuncPos  token.Position // where the function is declared
+	Analyzer string         // always "allocfree"
+}
+
+// String renders the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: allocfree: %s in //cuckoo:hotpath function %s", f.Pos, f.Message, f.Func)
+}
+
+// BuildRunner executes the diagnostic build and returns its combined
+// output. Check's default shells out to the go command; tests inject
+// stubs to prove the guard-the-guard and no-output paths.
+type BuildRunner func(dir string, patterns []string) ([]byte, error)
+
+// goBuildM is the default BuildRunner: `go build -gcflags=-m` over the
+// patterns. The compiler replays cached diagnostics on cached builds,
+// so repeat runs stay fast. Exit status is ignored as long as output
+// was produced: -m output goes to stderr alongside any build error,
+// and a build error surfaces as findings-parse failure upstream (the
+// lint CI job builds first).
+func goBuildM(dir string, patterns []string) ([]byte, error) {
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	if err != nil && out.Len() == 0 {
+		return nil, fmt.Errorf("allocfree: go build: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// Check compiles the packages matching patterns under moduleRoot with
+// escape diagnostics on and returns a Finding for every heap
+// allocation the compiler reports inside a //cuckoo:hotpath function
+// (ignore-suppressed sites excluded). It returns ErrNoEscapeOutput when
+// the build emitted no escape diagnostics at all.
+func Check(moduleRoot string, patterns []string) ([]Finding, error) {
+	return CheckWith(goBuildM, moduleRoot, patterns)
+}
+
+// CheckWith is Check with an injected build runner.
+func CheckWith(run BuildRunner, moduleRoot string, patterns []string) ([]Finding, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	out, err := run(moduleRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	diags := parseEscapes(out)
+	if len(diags) == 0 {
+		return nil, ErrNoEscapeOutput
+	}
+	hot, err := hotpathRanges(moduleRoot, diagFiles(diags))
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	// A generic function yields one diagnostic per instantiation (with
+	// shape-mangled names); one allocation site is one finding.
+	seen := map[string]bool{}
+	for _, d := range diags {
+		if !d.alloc {
+			continue
+		}
+		fr := hot.find(d.file, d.line)
+		if fr == nil || fr.ignored(d.line) {
+			continue
+		}
+		site := fmt.Sprintf("%s:%d:%d", d.file, d.line, d.col)
+		if seen[site] {
+			continue
+		}
+		seen[site] = true
+		findings = append(findings, Finding{
+			Pos:      token.Position{Filename: d.file, Line: d.line, Column: d.col},
+			Func:     fr.name,
+			Message:  d.message,
+			FuncPos:  token.Position{Filename: d.file, Line: fr.declLine},
+			Analyzer: "allocfree",
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// escapeDiag is one parsed compiler diagnostic.
+type escapeDiag struct {
+	file    string // relative to the module root
+	line    int
+	col     int
+	message string
+	alloc   bool // a heap allocation (vs inlining/leaking chatter)
+}
+
+// diagLineRE matches "path/file.go:12:34: message".
+var diagLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// allocPhrases are the -m messages that mean "this line allocates on
+// the heap". Inlining chatter ("can inline"), parameter leak notes
+// ("leaking param") and non-escapes ("does not escape") are not
+// allocations.
+var allocPhrases = []string{
+	"escapes to heap",
+	"moved to heap",
+}
+
+// escapePhrases recognize that -m output is present at all (for the
+// ErrNoEscapeOutput distinction), including purely negative output.
+var escapePhrases = append([]string{"does not escape", "leaking param", "can inline"}, allocPhrases...)
+
+// parseEscapes extracts diagnostics from build output. The compiler
+// prints package headers ("# cuckoodir/internal/core") followed by
+// file paths relative to the invocation directory.
+func parseEscapes(out []byte) []escapeDiag {
+	var diags []escapeDiag
+	for _, raw := range strings.Split(string(out), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := diagLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		known := false
+		for _, p := range escapePhrases {
+			if strings.Contains(msg, p) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			continue
+		}
+		alloc := false
+		for _, p := range allocPhrases {
+			if strings.Contains(msg, p) {
+				alloc = true
+				break
+			}
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		diags = append(diags, escapeDiag{
+			file:    filepath.ToSlash(strings.TrimPrefix(m[1], "./")),
+			line:    ln,
+			col:     col,
+			message: msg,
+			alloc:   alloc,
+		})
+	}
+	return diags
+}
+
+// diagFiles returns the distinct files the diagnostics name.
+func diagFiles(diags []escapeDiag) []string {
+	seen := map[string]bool{}
+	var files []string
+	for _, d := range diags {
+		if !seen[d.file] {
+			seen[d.file] = true
+			files = append(files, d.file)
+		}
+	}
+	sort.Strings(files)
+	return files
+}
+
+// funcRange is one //cuckoo:hotpath function's line extent in a file.
+type funcRange struct {
+	name     string
+	declLine int
+	from, to int
+	ignores  map[int]bool // //cuckoo:ignore lines in the file
+}
+
+// ignored reports whether line (or the line above it) carries an
+// ignore directive.
+func (r *funcRange) ignored(line int) bool {
+	return r.ignores[line] || r.ignores[line-1]
+}
+
+// hotRanges indexes hotpath function ranges per file.
+type hotRanges map[string][]funcRange
+
+// find returns the hotpath function covering file:line, or nil.
+func (h hotRanges) find(file string, line int) *funcRange {
+	for i := range h[file] {
+		if r := &h[file][i]; line >= r.from && line <= r.to {
+			return r
+		}
+	}
+	return nil
+}
+
+// hotpathRanges parses the named files (relative to root) and records
+// every //cuckoo:hotpath function's line range plus the file's ignore
+// lines. Files that fail to parse are skipped (the build would have
+// failed first).
+func hotpathRanges(root string, files []string) (hotRanges, error) {
+	h := hotRanges{}
+	fset := token.NewFileSet()
+	for _, rel := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(root, filepath.FromSlash(rel)), nil, parser.ParseComments)
+		if err != nil {
+			continue
+		}
+		ignores := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//cuckoo:ignore"); ok && strings.TrimSpace(rest) != "" {
+					ignores[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			h[rel] = append(h[rel], funcRange{
+				name:     fd.Name.Name,
+				declLine: fset.Position(fd.Pos()).Line,
+				from:     fset.Position(fd.Body.Pos()).Line,
+				to:       fset.Position(fd.Body.End()).Line,
+				ignores:  ignores,
+			})
+		}
+	}
+	return h, nil
+}
+
+// isHotpath reports whether the declaration carries //cuckoo:hotpath.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//cuckoo:hotpath" || strings.HasPrefix(c.Text, "//cuckoo:hotpath ") {
+			return true
+		}
+	}
+	return false
+}

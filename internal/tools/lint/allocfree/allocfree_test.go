@@ -1,0 +1,164 @@
+package allocfree
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseEscapes checks the -m output parser on a captured shape of
+// compiler output: package headers, inlining chatter, negative escape
+// notes and the two allocation phrasings.
+func TestParseEscapes(t *testing.T) {
+	out := strings.Join([]string{
+		"# example/pkg",
+		"./a.go:10:6: can inline f",
+		"./a.go:12:2: moved to heap: victim",
+		"a.go:14:9: new(T) escapes to heap",
+		"./a.go:16:7: leaking param: p",
+		"./a.go:18:7: q does not escape",
+		"garbage line without a diagnostic",
+		"./b.go:3:1: some unrelated compiler note",
+		"",
+	}, "\n")
+	diags := parseEscapes([]byte(out))
+	if len(diags) != 5 {
+		t.Fatalf("parsed %d diagnostics, want 5: %+v", len(diags), diags)
+	}
+	var allocs []escapeDiag
+	for _, d := range diags {
+		if d.alloc {
+			allocs = append(allocs, d)
+		}
+	}
+	if len(allocs) != 2 {
+		t.Fatalf("parsed %d allocations, want 2: %+v", len(allocs), allocs)
+	}
+	if allocs[0].file != "a.go" || allocs[0].line != 12 || allocs[0].col != 2 {
+		t.Errorf("first allocation at %s:%d:%d, want a.go:12:2", allocs[0].file, allocs[0].line, allocs[0].col)
+	}
+	if allocs[1].line != 14 {
+		t.Errorf("second allocation at line %d, want 14", allocs[1].line)
+	}
+}
+
+// TestNoEscapeOutput: a toolchain that emits nothing recognizable must
+// produce the skip sentinel, never a vacuous pass.
+func TestNoEscapeOutput(t *testing.T) {
+	stub := func(dir string, patterns []string) ([]byte, error) {
+		return []byte("# example/pkg\nnothing the parser recognizes\n"), nil
+	}
+	_, err := CheckWith(stub, t.TempDir(), nil)
+	if !errors.Is(err, ErrNoEscapeOutput) {
+		t.Fatalf("got err %v, want ErrNoEscapeOutput", err)
+	}
+}
+
+// guardFixture is a self-contained module (no imports beyond the
+// runtime) whose //cuckoo:hotpath function deliberately heap-allocates,
+// plus an ignore-suppressed twin and a cold bystander.
+const guardFixture = `package main
+
+type entry struct{ k, v uint64 }
+
+//cuckoo:hotpath
+func leak(k, v uint64) *entry {
+	e := entry{k, v}
+	return &e
+}
+
+//cuckoo:hotpath
+func leakIgnored(k, v uint64) *entry {
+	//cuckoo:ignore fixture: this escape is the documented API contract
+	e := entry{k, v}
+	return &e
+}
+
+func coldLeak() *entry {
+	e := entry{1, 2}
+	return &e
+}
+
+func main() {
+	println(leak(1, 2).v, leakIgnored(3, 4).v, coldLeak().v)
+}
+`
+
+// TestGuardTheGuard compiles a throwaway module with a deliberate
+// escape in a hotpath function and asserts the guard reports exactly
+// it: not the ignore-suppressed twin, not the unannotated function.
+func TestGuardTheGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a fixture module in -short mode")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module guardfixture.example\n\ngo 1.21\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(guardFixture), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Check(dir, []string{"."})
+	if errors.Is(err, ErrNoEscapeOutput) {
+		t.Skip("toolchain emitted no -m escape diagnostics")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Func != "leak" {
+		t.Errorf("finding attributed to %q, want leak", f.Func)
+	}
+	if !strings.Contains(f.Message, "moved to heap") && !strings.Contains(f.Message, "escapes to heap") {
+		t.Errorf("finding message %q does not look like an escape diagnostic", f.Message)
+	}
+	if f.Pos.Filename != "main.go" {
+		t.Errorf("finding in %s, want main.go", f.Pos.Filename)
+	}
+}
+
+// TestRepoEscapeClean is the -escapes merge gate as a test: no hotpath
+// function of the module may heap-allocate (ignore-suppressed sites
+// aside). Skips gracefully when the toolchain emits no -m output.
+func TestRepoEscapeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module -gcflags=-m build in -short mode")
+	}
+	root, err := moduleRootFromTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Check(root, []string{"./..."})
+	if errors.Is(err, ErrNoEscapeOutput) {
+		t.Skip("toolchain emitted no -m escape diagnostics")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// moduleRootFromTest walks up from the package directory to go.mod.
+func moduleRootFromTest() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"runtime"
+)
+
+// cacheLine is the padding quantum the sharded directory's counter
+// layout is built around (dirShard's _ [64]byte).
+const cacheLine = 64
+
+// AtomicpadAnalyzer enforces the padded-atomic-counter layout contract:
+// the per-shard counter blocks PR 4 moved to lock-free padded atomics
+// must keep their alignment, their exact cache-line pad arithmetic and
+// their separation from the locks they share a struct with — and must
+// never be copied by value.
+var AtomicpadAnalyzer = &Analyzer{
+	Name: "atomicpad",
+	Doc: `check structs holding sync/atomic counters for layout and copy hazards
+
+For every struct that holds sync/atomic counter fields (directly or via
+a nested counter struct): 8-byte atomics must sit at 8-aligned offsets;
+padding fields (_ [N]byte) must be a whole positive number of 64-byte
+cache lines; a mutex sharing the struct must be at least a full cache
+line away from the atomic block (no false sharing between the lock and
+lock-free pollers); and values of such structs must never be copied —
+by assignment, value parameter, value receiver, value return or range.`,
+	Run: runAtomicpad,
+}
+
+func runAtomicpad(pass *Pass) error {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	c := &atomicpadChecker{pass: pass, sizes: sizes, bearing: map[types.Type]bool{}}
+	// Layout rules on every struct type declared in this package.
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := pass.Pkg.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				// Aliases (type Engine = engine.Engine) re-name a struct
+				// whose layout its defining package already answers for.
+				if tn, ok := obj.(*types.TypeName); ok && tn.IsAlias() {
+					continue
+				}
+				if st, ok := obj.Type().Underlying().(*types.Struct); ok && c.atomicBearing(st) {
+					c.checkLayout(ts, obj.Type(), st)
+				}
+			}
+		}
+	}
+	// Copy rules everywhere in the package (tests included — a copied
+	// counter struct in a test silently reads torn or stale counters).
+	for _, file := range pass.Pkg.Files {
+		c.checkCopies(file)
+	}
+	return nil
+}
+
+type atomicpadChecker struct {
+	pass    *Pass
+	sizes   types.Sizes
+	bearing map[types.Type]bool // memo: type contains atomic counters
+}
+
+// isAtomicType reports whether t is a sync/atomic value type, returning
+// its bit width for the alignment rule (0 for Value/Pointer/Bool).
+func isAtomicType(t types.Type) (width int, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return 0, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return 0, false
+	}
+	switch obj.Name() {
+	case "Int64", "Uint64":
+		return 64, true
+	case "Int32", "Uint32":
+		return 32, true
+	case "Uintptr", "Pointer", "Value", "Bool":
+		return 0, true
+	}
+	return 0, false
+}
+
+// atomicBearing reports whether t (a struct, or a type whose underlying
+// is a struct or array of structs) holds sync/atomic fields anywhere.
+func (c *atomicpadChecker) atomicBearing(t types.Type) bool {
+	if v, ok := c.bearing[t]; ok {
+		return v
+	}
+	c.bearing[t] = false // cycle guard
+	v := false
+	if _, ok := isAtomicType(t); ok {
+		c.bearing[t] = true
+		return true
+	}
+	// sync's own types (Mutex, RWMutex, WaitGroup, ...) hold atomics
+	// internally but manage their own layout, and vet's copylocks
+	// already guards their copies — treat them as opaque.
+	if named, ok := t.(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil && (p.Path() == "sync" || p.Path() == "internal/sync") {
+			return false
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields() && !v; i++ {
+			f := u.Field(i)
+			if _, ok := isAtomicType(f.Type()); ok {
+				v = true
+			} else if c.atomicBearing(f.Type()) {
+				v = true
+			}
+		}
+	case *types.Array:
+		v = c.atomicBearing(u.Elem())
+	}
+	c.bearing[t] = v
+	return v
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isPadField reports whether f is a padding field (_ [N]byte) and
+// returns N.
+func isPadField(f *types.Var) (n int64, ok bool) {
+	if f.Name() != "_" {
+		return 0, false
+	}
+	arr, ok := f.Type().Underlying().(*types.Array)
+	if !ok {
+		return 0, false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Byte && basic.Kind() != types.Uint8 {
+		return 0, false
+	}
+	return arr.Len(), true
+}
+
+// span is a byte range [lo, hi) a field (or atomic leaf) occupies.
+type span struct {
+	lo, hi int64
+	name   string
+}
+
+// checkLayout enforces the layout rules on one atomic-bearing struct.
+func (c *atomicpadChecker) checkLayout(ts *ast.TypeSpec, named types.Type, st *types.Struct) {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := c.sizes.Offsetsof(fields)
+
+	var atomics, mutexes []span
+	for i, f := range fields {
+		off := offsets[i]
+		if n, ok := isPadField(f); ok {
+			if n <= 0 || n%cacheLine != 0 {
+				c.pass.Reportf(f.Pos(),
+					"pad field _ [%d]byte in %s is not a whole positive number of %d-byte cache lines",
+					n, ts.Name.Name, cacheLine)
+			}
+			continue
+		}
+		if width, ok := isAtomicType(f.Type()); ok {
+			if width == 64 && off%8 != 0 {
+				c.pass.Reportf(f.Pos(),
+					"64-bit atomic field %s of %s sits at offset %d (not 8-aligned)",
+					f.Name(), ts.Name.Name, off)
+			}
+			atomics = append(atomics, span{off, off + c.sizes.Sizeof(f.Type()), f.Name()})
+			continue
+		}
+		if c.atomicBearing(f.Type()) {
+			if off%8 != 0 {
+				c.pass.Reportf(f.Pos(),
+					"atomic-bearing field %s of %s sits at offset %d (not 8-aligned)",
+					f.Name(), ts.Name.Name, off)
+			}
+			atomics = append(atomics, span{off, off + c.sizes.Sizeof(f.Type()), f.Name()})
+		}
+		if isMutexType(f.Type()) {
+			mutexes = append(mutexes, span{off, off + c.sizes.Sizeof(f.Type()), f.Name()})
+		}
+	}
+	// Lock/counter separation: a lock-free poller reads the atomic
+	// block while the lock word bounces between owners; within one
+	// cache line of each other they false-share.
+	for _, m := range mutexes {
+		for _, a := range atomics {
+			gap := a.lo - m.hi
+			if a.hi <= m.lo {
+				gap = m.lo - a.hi
+			}
+			if gap < cacheLine {
+				c.pass.Reportf(ts.Pos(),
+					"%s: atomic counter field %s is %d bytes from mutex %s (need >= %d; separate them with a _ [%d]byte pad)",
+					ts.Name.Name, a.name, gap, m.name, cacheLine, cacheLine)
+			}
+		}
+	}
+}
+
+// checkCopies flags by-value copies of atomic-bearing struct values.
+func (c *atomicpadChecker) checkCopies(file *ast.File) {
+	info := c.pass.Pkg.Info
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			c.checkFuncSig(n.Recv, n.Type)
+		case *ast.FuncLit:
+			c.checkFuncSig(nil, n.Type)
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				c.checkCopyExpr(rhs, "assignment copies")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				c.checkCopyExpr(v, "variable initialization copies")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				c.checkCopyExpr(r, "return copies")
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[ast.Unparen(n.Fun)]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, arg := range n.Args {
+				c.checkCopyExpr(arg, "call passes")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := info.TypeOf(n.Value); t != nil && c.atomicBearing(t) {
+					c.pass.Reportf(n.Value.Pos(),
+						"range copies %s by value (it holds atomic counters; iterate by index or pointer)",
+						typeName(t))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkFuncSig flags value receivers, parameters and results of
+// atomic-bearing struct type.
+func (c *atomicpadChecker) checkFuncSig(recv *ast.FieldList, ftype *ast.FuncType) {
+	lists := []struct {
+		fl   *ast.FieldList
+		what string
+	}{{recv, "receiver"}, {ftype.Params, "parameter"}, {ftype.Results, "result"}}
+	for _, l := range lists {
+		if l.fl == nil {
+			continue
+		}
+		for _, field := range l.fl.List {
+			t := c.pass.Pkg.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if c.atomicBearing(t) {
+				c.pass.Reportf(field.Type.Pos(),
+					"%s passes %s by value (it holds atomic counters; use a pointer)",
+					l.what, typeName(t))
+			}
+		}
+	}
+}
+
+// checkCopyExpr flags e when it copies an atomic-bearing struct value
+// out of an existing location (identifier, field, element or deref);
+// composite literals and calls construct fresh values and are fine.
+func (c *atomicpadChecker) checkCopyExpr(e ast.Expr, what string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := c.pass.Pkg.Info.TypeOf(e)
+	if t == nil || !c.atomicBearing(t) {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	c.pass.Reportf(e.Pos(), "%s %s by value (it holds atomic counters; use a pointer)", what, typeName(t))
+}
+
+// typeName renders t compactly for diagnostics.
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return fmt.Sprintf("%s", t)
+}

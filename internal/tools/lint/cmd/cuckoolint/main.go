@@ -1,0 +1,104 @@
+// Command cuckoolint is the repo's invariant multichecker: it runs the
+// hotpath, atomicpad and statsmerge analyzers (internal/tools/lint)
+// over `go list` patterns, and with -escapes additionally runs the
+// allocfree escape guard (internal/tools/lint/allocfree) so one command
+// covers the whole machine-checked hot-path contract. See DESIGN.md §10.
+//
+// Standalone usage (whole-module load, full cross-package checks):
+//
+//	go run ./internal/tools/lint/cmd/cuckoolint ./...
+//	go run ./internal/tools/lint/cmd/cuckoolint -escapes ./...
+//
+// It also speaks the `go vet -vettool` protocol, so the same analyzers
+// run under vet's per-package driver (cross-package annotation
+// inheritance is skipped there — only the standalone whole-module load
+// can see other packages' annotations):
+//
+//	go build -o /tmp/cuckoolint ./internal/tools/lint/cmd/cuckoolint
+//	go vet -vettool=/tmp/cuckoolint ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cuckoodir/internal/tools/lint"
+	"cuckoodir/internal/tools/lint/allocfree"
+)
+
+func main() {
+	// `go vet -vettool` drives the tool through reverse-DNS flags and a
+	// *.cfg argument; detect that before normal flag parsing.
+	if unitcheckerMode() {
+		unitcheckerMain()
+		return
+	}
+
+	escapes := flag.Bool("escapes", false, "also run the allocfree escape guard (go build -gcflags=-m)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cuckoolint [-escapes] [packages]\n\n")
+		for _, a := range lint.Analyzers() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, doc)
+		}
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", "allocfree", "escape guard: no heap allocations in //cuckoo:hotpath functions (-escapes)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Println(a.Name)
+		}
+		fmt.Println("allocfree")
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	ld, err := lint.LoadModule(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(lint.Analyzers(), ld.Packages, ld.Index)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	bad := len(diags) > 0
+
+	if *escapes {
+		findings, err := allocfree.Check(root, patterns)
+		if err == allocfree.ErrNoEscapeOutput {
+			fmt.Fprintln(os.Stderr, "cuckoolint: allocfree skipped: toolchain emitted no -m escape diagnostics")
+		} else if err != nil {
+			fatal(err)
+		} else {
+			for _, f := range findings {
+				fmt.Fprintln(os.Stderr, f)
+			}
+			bad = bad || len(findings) > 0
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("cuckoolint: %d package(s) clean\n", len(ld.Packages))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cuckoolint:", err)
+	os.Exit(2)
+}

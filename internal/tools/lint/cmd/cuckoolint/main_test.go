@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestVettoolProtocol builds the tool and drives it both ways vet does
+// (probe flags, then a real `go vet -vettool` run over two clean
+// packages) and once standalone.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets packages in -short mode")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "cuckoolint")
+
+	build := exec.Command("go", "build", "-o", bin, "./internal/tools/lint/cmd/cuckoolint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cuckoolint: %v\n%s", err, out)
+	}
+
+	flags := exec.Command(bin, "-flags")
+	out, err := flags.CombinedOutput()
+	if err != nil || strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("-flags probe: %v, output %q (want [])", err, out)
+	}
+
+	version := exec.Command(bin, "-V=full")
+	out, err = version.CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "buildID=") {
+		t.Fatalf("-V=full probe: %v, output %q (want a buildID line)", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/hashfn", "./internal/core")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean packages: %v\n%s", err, out)
+	}
+
+	standalone := exec.Command(bin, "./internal/hashfn")
+	standalone.Dir = root
+	out, err = standalone.CombinedOutput()
+	if err != nil {
+		t.Fatalf("standalone run on clean package: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "clean") {
+		t.Errorf("standalone run output %q does not report clean", out)
+	}
+}

@@ -1,0 +1,204 @@
+// The `go vet -vettool` driver protocol, reimplemented on the standard
+// library (the x/tools unitchecker is unavailable offline). go vet
+// invokes the tool three ways:
+//
+//	cuckoolint -V=full        print a versioned identity for cache keys
+//	cuckoolint -flags         print the tool's analyzer flags as JSON
+//	cuckoolint <vet.cfg>      analyze one package described by the cfg
+//
+// The cfg names the package's files and maps its imports to compiled
+// export data, so the package is type-checked exactly as vet's own
+// analyzers would. Diagnostics go to stderr in file:line:col form and
+// the exit status is 2 when any are reported — go vet relays both. The
+// facts output file (cfg.VetxOutput) is written empty: these analyzers
+// exchange no facts, but vet requires the file to exist.
+//
+// Limitation (documented in DESIGN.md §10): under vet's per-package
+// driver the annotation index covers only the package being vetted, so
+// hotpath's cross-package rule (module callees must be annotated) is
+// skipped; the standalone whole-module mode enforces it.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"cuckoodir/internal/tools/lint"
+)
+
+// vetConfig mirrors the JSON config `go vet` hands a vettool.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ModulePath   string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	VetxOnly     bool
+	VetxOutput   string
+}
+
+// unitcheckerMode reports whether the invocation matches the vettool
+// protocol: a -V/-flags probe or a single *.cfg argument.
+func unitcheckerMode() bool {
+	for _, arg := range os.Args[1:] {
+		if arg == "-flags" || strings.HasPrefix(arg, "-V") {
+			return true
+		}
+		if strings.HasSuffix(arg, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+func unitcheckerMain() {
+	args := os.Args[1:]
+	for _, arg := range args {
+		switch {
+		case strings.HasPrefix(arg, "-V"):
+			// go vet keys its cache on this line; hash the executable
+			// so a rebuilt tool invalidates stale results.
+			fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], selfHash())
+			return
+		case arg == "-flags":
+			// No tool-specific flags beyond the driver's own.
+			fmt.Println("[]")
+			return
+		}
+	}
+	var cfgPath string
+	for _, arg := range args {
+		if strings.HasSuffix(arg, ".cfg") {
+			cfgPath = arg
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintln(os.Stderr, `cuckoolint: invoking the vettool directly is unsupported; use "go vet -vettool" or run it standalone with package patterns`)
+		os.Exit(1)
+	}
+	diags, err := unitCheck(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuckoolint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// unitCheck analyzes the single package a vet.cfg describes.
+func unitCheck(cfgPath string) ([]lint.Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// vet requires the facts file to exist even when empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+
+	modulePath := cfg.ModulePath
+	if modulePath == "" {
+		modulePath = modulePathOf(cfg.ImportPath)
+	}
+	ix := lint.NewIndex(modulePath)
+	ix.Incomplete = true // per-package view: no cross-package annotations
+	ix.AddPackage(pkg)
+	return lint.Run(lint.Analyzers(), []*lint.Package{pkg}, ix)
+}
+
+// modulePathOf guesses the module path from an import path when the
+// cfg omits it (first path element heuristic; only used to scope the
+// already-skipped cross-package rule).
+func modulePathOf(importPath string) string {
+	if i := strings.IndexByte(importPath, '/'); i > 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// selfHash fingerprints the running executable for vet's cache key.
+func selfHash() []byte {
+	exe, err := os.Executable()
+	if err != nil {
+		return []byte{0}
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return []byte{0}
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return []byte{0}
+	}
+	return h.Sum(nil)[:8]
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expectation is one `// want "regexp"` annotation in a fixture file.
+type Expectation struct {
+	File    string
+	Line    int
+	Pattern *regexp.Regexp
+}
+
+// CheckFixture loads the fixture package at dir, runs the analyzers
+// over it, and compares the diagnostics against the fixture's
+// `// want "regexp"` comments — the analysistest contract, stdlib-only:
+// every diagnostic must match a want on its line, and every want must
+// be matched by a diagnostic. Problems are returned as messages (empty
+// means the fixture passes).
+func CheckFixture(analyzers []*Analyzer, dir string) ([]string, error) {
+	ld, err := LoadFixture(dir)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run(analyzers, ld.Packages, ld.Index)
+	if err != nil {
+		return nil, err
+	}
+	wants, err := fixtureWants(ld)
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.File == d.Pos.Filename && w.Line == d.Pos.Line && w.Pattern.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s: %s: %s", d.Pos, d.Analyzer, d.Message))
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.File, w.Line, w.Pattern))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// wantRE matches one quoted pattern of a want comment; a line may carry
+// several (`// want "a" "b"`). Both "..." and `...` quoting work.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// fixtureWants extracts every want annotation from the load's files.
+func fixtureWants(ld *Load) ([]Expectation, error) {
+	var wants []Expectation
+	for _, pkg := range ld.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := cutWant(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					quoted := wantRE.FindAllString(rest, -1)
+					if len(quoted) == 0 {
+						return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					for _, q := range quoted {
+						pat, err := unquoteWant(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+						}
+						wants = append(wants, Expectation{File: pos.Filename, Line: pos.Line, Pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutWant strips the "// want" prefix from a comment.
+func cutWant(text string) (rest string, ok bool) {
+	body := strings.TrimPrefix(text, "//")
+	trimmed := strings.TrimLeft(body, " \t")
+	if !strings.HasPrefix(trimmed, "want ") && trimmed != "want" {
+		return "", false
+	}
+	return strings.TrimPrefix(trimmed, "want"), true
+}
+
+// unquoteWant unquotes one "..." or `...` pattern.
+func unquoteWant(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}
+
+// fixtureFuncNames lists the fixture's declared function names — a
+// convenience for tests asserting annotation indexing.
+func fixtureFuncNames(ld *Load) []string {
+	var names []string
+	for _, pkg := range ld.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					names = append(names, fd.Name.Name)
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAnalyzer enforces the hot-path contract on //cuckoo:hotpath
+// functions: the devirtualized, allocation-free probe pipeline PRs 4-6
+// built must not silently regrow interface dispatch, map/channel
+// traffic, defers or formatting machinery under later refactors.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc: `check //cuckoo:hotpath functions for hot-path contract violations
+
+A //cuckoo:hotpath function — and every same-package function it calls
+directly, one level deep — must contain no interface method calls, no
+map or channel operations (index, send, receive, range, select, close,
+delete, make), no defer, and no calls into fmt, log or errors. Direct
+calls into other packages of this module must target functions that are
+themselves annotated //cuckoo:hotpath or //cuckoo:cold. Deliberate
+violations (a queue that IS a channel, a by-design fallback interface
+dispatch) carry //cuckoo:ignore <reason>.`,
+	Run: runHotpath,
+}
+
+// bannedCallPackages are the formatting/error-construction packages a
+// hot-path function must not call into: each call constructs garbage
+// and defeats the zero-allocation contract.
+var bannedCallPackages = map[string]bool{
+	"fmt":    true,
+	"log":    true,
+	"errors": true,
+}
+
+func runHotpath(pass *Pass) error {
+	// Same-package direct callees of hotpath functions are checked once
+	// each, attributed to the first hot caller found.
+	checked := map[types.Object]bool{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Pkg.Info.Defs[fd.Name]
+			if obj == nil || pass.Index.FuncAnnot(obj) != AnnotHotpath {
+				continue
+			}
+			callees := checkHotBody(pass, fd, fmt.Sprintf("//cuckoo:hotpath function %s", fd.Name.Name))
+			for _, callee := range callees {
+				if checked[callee] || pass.Index.FuncAnnot(callee) != AnnotNone {
+					// Annotated callees are checked under their own
+					// annotation (hotpath) or exempt (cold).
+					continue
+				}
+				checked[callee] = true
+				cd := pass.Index.FuncDecl(callee)
+				if cd == nil || cd.Body == nil {
+					continue
+				}
+				checkHotBody(pass, cd, fmt.Sprintf("%s (direct callee of //cuckoo:hotpath %s)", callee.Name(), fd.Name.Name))
+			}
+		}
+	}
+	return nil
+}
+
+// checkHotBody walks one function body enforcing the hot-path contract,
+// reporting violations prefixed with who (the function or the hot
+// caller chain). It returns the same-package functions the body calls
+// directly.
+func checkHotBody(pass *Pass, fd *ast.FuncDecl, who string) []types.Object {
+	info := pass.Pkg.Info
+	var callees []types.Object
+	// Channel operations that are the comm clause of a select are
+	// subsumed by the select's own diagnostic.
+	subsumed := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in %s", who)
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select in %s", who)
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					subsumed[cc.Comm] = true
+					// An assignment comm clause wraps the receive.
+					if as, ok := cc.Comm.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+						subsumed[as.Rhs[0]] = true
+					}
+					if es, ok := cc.Comm.(*ast.ExprStmt); ok {
+						subsumed[es.X] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if !subsumed[n] {
+				pass.Reportf(n.Pos(), "channel send in %s", who)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !subsumed[n] {
+				pass.Reportf(n.Pos(), "channel receive in %s", who)
+			}
+		case *ast.RangeStmt:
+			switch info.TypeOf(n.X).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "range over map in %s", who)
+			case *types.Chan:
+				pass.Reportf(n.Pos(), "range over channel in %s", who)
+			}
+		case *ast.IndexExpr:
+			if _, ok := typeUnder(info, n.X).(*types.Map); ok {
+				pass.Reportf(n.Pos(), "map access in %s", who)
+			}
+		case *ast.CallExpr:
+			if callee := checkHotCall(pass, n, who, subsumed); callee != nil {
+				callees = append(callees, callee)
+			}
+		}
+		return true
+	})
+	return callees
+}
+
+// checkHotCall enforces the call rules on one call expression and
+// returns the same-package callee to descend into, if any.
+func checkHotCall(pass *Pass, call *ast.CallExpr, who string, subsumed map[ast.Node]bool) types.Object {
+	info := pass.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions are not calls.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return nil
+	}
+
+	// Builtins: close is a channel op, delete a map op, make of a map
+	// or channel type grows banned machinery.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "close":
+				pass.Reportf(call.Pos(), "channel close in %s", who)
+			case "delete":
+				pass.Reportf(call.Pos(), "map delete in %s", who)
+			case "make":
+				switch info.TypeOf(call).Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(call.Pos(), "map construction in %s", who)
+				case *types.Chan:
+					pass.Reportf(call.Pos(), "channel construction in %s", who)
+				}
+			}
+			return nil
+		}
+	}
+
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// Method (or method-value) call: flag interface dispatch.
+			if sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+				pass.Reportf(call.Pos(), "interface method call %s.%s in %s",
+					types.TypeString(sel.Recv(), types.RelativeTo(pass.Pkg.Types)), fun.Sel.Name, who)
+				return nil
+			}
+			obj = sel.Obj()
+		} else {
+			// Package-qualified call: pkg.Fn.
+			obj = info.Uses[fun.Sel]
+		}
+	default:
+		// Calling a function value (closure, field) — allowed.
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	pkgPath := fn.Pkg().Path()
+	if bannedCallPackages[pkgPath] {
+		pass.Reportf(call.Pos(), "call to %s.%s in %s", pkgPath, fn.Name(), who)
+		return nil
+	}
+	if pkgPath == pass.Pkg.Types.Path() {
+		return fn
+	}
+	if pass.Index.inModule(pkgPath) && !pass.Index.Incomplete {
+		if pass.Index.FuncAnnot(fn) == AnnotNone {
+			pass.Reportf(call.Pos(), "call from %s to unannotated %s.%s (annotate it //cuckoo:hotpath or //cuckoo:cold)",
+				who, pkgPath, fn.Name())
+		}
+	}
+	return nil
+}
+
+// typeUnder returns e's underlying type, nil-safe.
+func typeUnder(info *types.Info, e ast.Expr) types.Type {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

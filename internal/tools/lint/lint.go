@@ -1,0 +1,389 @@
+// Package lint is the repo's machine-checked invariant suite: a small
+// go/analysis-shaped framework (Analyzer, Pass, Diagnostic) built on the
+// standard library's go/ast + go/types only — the container that grows
+// this repo has no network and no golang.org/x/tools, so the framework
+// the multichecker needs is implemented here instead of imported.
+//
+// Three analyzers lock in the hot-path contract PRs 4-6 established by
+// hand (see DESIGN.md §10 for the full grammar and rationale):
+//
+//   - hotpath: functions annotated //cuckoo:hotpath (and their
+//     same-package direct callees) must contain no interface method
+//     calls, no map or channel operations, no defer, and no calls into
+//     fmt, log or errors. Direct calls into OTHER packages of this
+//     module must target functions that are themselves annotated
+//     //cuckoo:hotpath or //cuckoo:cold.
+//   - atomicpad: structs holding sync/atomic counter fields keep 64-bit
+//     field alignment and exact cache-line pad arithmetic, stay a full
+//     pad away from any mutex they share a struct with, and are never
+//     copied by value.
+//   - statsmerge: every field of a struct annotated
+//     //cuckoo:stats merge=NAME must be consumed — read from the source
+//     and written into the destination — by the named merge function,
+//     so adding a stat without merging it fails the build.
+//
+// A fourth guard, the escape-analysis allocation check, lives in the
+// sibling package allocfree: it parses `go build -gcflags=-m` output
+// rather than the AST, so it is a harness, not an Analyzer.
+//
+// Any diagnostic can be suppressed by a //cuckoo:ignore <reason>
+// comment on the flagged line or the line directly above it; the reason
+// is mandatory and is the in-code record of why the violation is
+// deliberate (e.g. the engine's queue IS a channel).
+//
+// The command internal/tools/lint/cmd/cuckoolint runs all analyzers
+// over `go list` patterns and doubles as a `go vet -vettool`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// An Analyzer is one named invariant check, mirroring the shape of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Analyzers returns the full cuckoolint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{HotpathAnalyzer, AtomicpadAnalyzer, StatsmergeAnalyzer}
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass hands one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Index    *Index
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Package is one type-checked package with syntax, the unit a Pass
+// covers.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FuncAnnot classifies a function's //cuckoo: annotation.
+type FuncAnnot uint8
+
+// Function annotations.
+const (
+	// AnnotNone marks an unannotated function.
+	AnnotNone FuncAnnot = iota
+	// AnnotHotpath marks a //cuckoo:hotpath function: the hot-path
+	// contract is enforced on its body and its direct callees, and the
+	// allocfree guard forbids heap allocations in it.
+	AnnotHotpath
+	// AnnotCold marks a //cuckoo:cold function: a deliberately
+	// out-of-line failure helper (panic formatting, error construction)
+	// that hot code may call without inheriting the hot-path checks.
+	AnnotCold
+)
+
+// Directive verbs.
+const (
+	verbHotpath = "hotpath"
+	verbCold    = "cold"
+	verbIgnore  = "ignore"
+	verbStats   = "stats"
+)
+
+// Index is the load-wide annotation table: which functions are
+// hot/cold, which struct types declare a stats merge, and where
+// //cuckoo:ignore suppressions sit. In a whole-module load (the
+// standalone cuckoolint command, the tests) it covers every package, so
+// cross-package rules are enforced; in a per-package load (vettool
+// mode) it only covers the current package and Incomplete is true.
+type Index struct {
+	// ModulePath is the module whose packages the cross-package hotpath
+	// rule covers ("cuckoodir").
+	ModulePath string
+	// Incomplete reports that the index does not span the whole module,
+	// so cross-package annotation lookups must not be treated as
+	// authoritative (vettool mode).
+	Incomplete bool
+
+	funcs  map[types.Object]FuncAnnot
+	decls  map[types.Object]*ast.FuncDecl
+	merges map[types.Object]string // named struct type -> merge func name
+	// ignores maps filename -> set of lines carrying //cuckoo:ignore.
+	ignores map[string]map[int]bool
+	// diags collects malformed-directive complaints found while
+	// indexing; the runner reports them under the "directives" name.
+	diags []Diagnostic
+}
+
+// NewIndex returns an empty index for the given module path.
+func NewIndex(modulePath string) *Index {
+	return &Index{
+		ModulePath: modulePath,
+		funcs:      map[types.Object]FuncAnnot{},
+		decls:      map[types.Object]*ast.FuncDecl{},
+		merges:     map[types.Object]string{},
+		ignores:    map[string]map[int]bool{},
+	}
+}
+
+// FuncAnnot returns fn's annotation (AnnotNone when unannotated or
+// unknown to the index).
+func (ix *Index) FuncAnnot(fn types.Object) FuncAnnot { return ix.funcs[fn] }
+
+// FuncDecl returns fn's declaration when the index has its syntax.
+func (ix *Index) FuncDecl(fn types.Object) *ast.FuncDecl { return ix.decls[fn] }
+
+// MergeName returns the merge-function name a //cuckoo:stats directive
+// declared for the named type, or "".
+func (ix *Index) MergeName(typ types.Object) string { return ix.merges[typ] }
+
+// HotpathFuncs returns every indexed //cuckoo:hotpath function, in
+// stable position order — the allocfree guard and tests enumerate them.
+func (ix *Index) HotpathFuncs() []types.Object {
+	var out []types.Object
+	for fn, a := range ix.funcs {
+		if a == AnnotHotpath {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos() != out[j].Pos() {
+			return out[i].Pos() < out[j].Pos()
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// AddPackage indexes pkg's //cuckoo: directives.
+func (ix *Index) AddPackage(pkg *Package) {
+	for _, file := range pkg.Files {
+		filename := pkg.Fset.Position(file.Pos()).Filename
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				verb, arg, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				switch verb {
+				case verbIgnore:
+					if strings.TrimSpace(arg) == "" {
+						ix.diags = append(ix.diags, Diagnostic{
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Analyzer: "directives",
+							Message:  "//cuckoo:ignore needs a reason: //cuckoo:ignore <why this is deliberate>",
+						})
+						continue
+					}
+					if ix.ignores[filename] == nil {
+						ix.ignores[filename] = map[int]bool{}
+					}
+					ix.ignores[filename][line] = true
+				case verbHotpath, verbCold, verbStats:
+					// Attached to a declaration; handled below. Flag
+					// stray ones that precede nothing recognizable when
+					// walking declarations is hard, so accept them here.
+				default:
+					ix.diags = append(ix.diags, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "directives",
+						Message:  fmt.Sprintf("unknown directive //cuckoo:%s (want hotpath, cold, ignore or stats)", verb),
+					})
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				ix.indexFunc(pkg, d)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					// A directive on the single-spec GenDecl doc or on
+					// the TypeSpec itself both count (gofmt moves
+					// single-type docs to the GenDecl).
+					ix.indexType(pkg, ts, d.Doc, ts.Doc)
+				}
+			}
+		}
+	}
+}
+
+// indexFunc records fn's declaration (annotated or not — the hotpath
+// analyzer descends into unannotated same-package callees) and its
+// annotation, if any.
+func (ix *Index) indexFunc(pkg *Package, d *ast.FuncDecl) {
+	obj := pkg.Info.Defs[d.Name]
+	if obj == nil {
+		return
+	}
+	ix.decls[obj] = d
+	verb, arg := groupDirective(d.Doc)
+	if verb == "" {
+		return
+	}
+	switch verb {
+	case verbHotpath:
+		ix.funcs[obj] = AnnotHotpath
+	case verbCold:
+		ix.funcs[obj] = AnnotCold
+	case verbStats:
+		ix.diags = append(ix.diags, Diagnostic{
+			Pos:      pkg.Fset.Position(d.Pos()),
+			Analyzer: "directives",
+			Message:  fmt.Sprintf("//cuckoo:stats on function %s (it annotates struct types)", d.Name.Name),
+		})
+	default:
+		_ = arg
+	}
+}
+
+// indexType records a //cuckoo:stats merge=NAME directive on a type.
+func (ix *Index) indexType(pkg *Package, ts *ast.TypeSpec, groups ...*ast.CommentGroup) {
+	for _, g := range groups {
+		verb, arg := groupDirective(g)
+		switch verb {
+		case "":
+			continue
+		case verbStats:
+			name, ok := strings.CutPrefix(strings.TrimSpace(arg), "merge=")
+			if !ok || name == "" {
+				ix.diags = append(ix.diags, Diagnostic{
+					Pos:      pkg.Fset.Position(ts.Pos()),
+					Analyzer: "directives",
+					Message:  fmt.Sprintf("//cuckoo:stats on %s needs merge=NAME", ts.Name.Name),
+				})
+				return
+			}
+			if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+				ix.merges[obj] = name
+			}
+			return
+		case verbHotpath, verbCold:
+			ix.diags = append(ix.diags, Diagnostic{
+				Pos:      pkg.Fset.Position(ts.Pos()),
+				Analyzer: "directives",
+				Message:  fmt.Sprintf("//cuckoo:%s on type %s (it annotates functions)", verb, ts.Name.Name),
+			})
+			return
+		}
+	}
+}
+
+// groupDirective returns the first //cuckoo: directive in a comment
+// group (doc comments carry at most one annotation).
+func groupDirective(g *ast.CommentGroup) (verb, arg string) {
+	if g == nil {
+		return "", ""
+	}
+	for _, c := range g.List {
+		if v, a, ok := parseDirective(c.Text); ok && v != verbIgnore {
+			return v, a
+		}
+	}
+	return "", ""
+}
+
+// parseDirective splits a "//cuckoo:verb arg..." comment.
+func parseDirective(text string) (verb, arg string, ok bool) {
+	rest, ok := strings.CutPrefix(text, "//cuckoo:")
+	if !ok {
+		return "", "", false
+	}
+	verb, arg, _ = strings.Cut(rest, " ")
+	return verb, arg, verb != ""
+}
+
+// Ignored reports whether a diagnostic at pos is suppressed by a
+// //cuckoo:ignore on its line or the line directly above.
+func (ix *Index) Ignored(pos token.Position) bool {
+	lines := ix.ignores[pos.Filename]
+	return lines != nil && (lines[pos.Line] || lines[pos.Line-1])
+}
+
+// Run executes the analyzers over pkgs under ix and returns the
+// surviving diagnostics (ignore-filtered, position-sorted). Malformed
+// directives found during indexing are included.
+func Run(analyzers []*Analyzer, pkgs []*Package, ix *Index) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	diags = append(diags, ix.diags...)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Index: ix, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ix.Ignored(d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return kept, nil
+}
+
+// inModule reports whether path is a package of the index's module.
+func (ix *Index) inModule(path string) bool {
+	return path == ix.ModulePath || strings.HasPrefix(path, ix.ModulePath+"/")
+}
+
+// describePos renders a short file:line for cross-reference messages.
+func describePos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%s", p.Filename, strconv.Itoa(p.Line))
+}

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	Module       *struct{ Path string }
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// A Load is a whole-module type-checked snapshot: every matched package
+// (test files included) with syntax, plus the annotation index spanning
+// them all — what the standalone multichecker and the repo self-tests
+// analyze.
+type Load struct {
+	Packages []*Package
+	Index    *Index
+	Fset     *token.FileSet
+
+	// exports maps import path -> compiled export data file, for every
+	// dependency `go list -export` resolved (fixture loading reuses it).
+	exports map[string]string
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+// LoadModule type-checks the packages matching patterns (./... style,
+// resolved by `go list` in dir) from source, against compiled export
+// data for everything outside the module. Test files are included: the
+// in-package test files join their package, and external _test packages
+// are checked as their own package.
+func LoadModule(dir string, patterns []string) (*Load, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
+	out, err := runGo(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := moduleName(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	ld := &Load{
+		Index:   NewIndex(modulePath),
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		checked: map[string]*types.Package{},
+	}
+	var inMod []listPackage
+	seen := map[string]bool{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: parsing go list output: %w", err)
+		}
+		if p.Export != "" {
+			if _, ok := ld.exports[plainPath(p.ImportPath)]; !ok {
+				ld.exports[plainPath(p.ImportPath)] = p.Export
+			}
+		}
+		path := p.ImportPath
+		if !isPlainPath(path) || seen[path] {
+			continue
+		}
+		if p.Module != nil && p.Module.Path == modulePath {
+			seen[path] = true
+			inMod = append(inMod, p)
+		}
+	}
+	// go list -deps emits dependencies before dependents, so checking
+	// in listing order resolves module-internal imports from ld.checked.
+	for _, p := range inMod {
+		pkg, err := ld.checkSource(p.ImportPath, p.Dir, append(append([]string{}, p.GoFiles...), p.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		ld.add(pkg)
+		if len(p.XTestGoFiles) > 0 {
+			xpkg, err := ld.checkSource(p.ImportPath+"_test", p.Dir, p.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			ld.add(xpkg)
+		}
+	}
+	sort.Slice(ld.Packages, func(i, j int) bool { return ld.Packages[i].Path < ld.Packages[j].Path })
+	return ld, nil
+}
+
+// add indexes and records one checked package.
+func (ld *Load) add(pkg *Package) {
+	ld.checked[pkg.Path] = pkg.Types
+	ld.Index.AddPackage(pkg)
+	ld.Packages = append(ld.Packages, pkg)
+}
+
+// checkSource parses and type-checks one package from source files.
+func (ld *Load) checkSource(path, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: ld.importer()}
+	tpkg, err := conf.Check(path, ld.Fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: ld.Fset, Files: syntax, Types: tpkg, Info: info}, nil
+}
+
+// importer resolves module-internal imports from the already-checked
+// packages and everything else from compiled export data. The gc
+// importer is created once per Load: its internal cache is what gives
+// every checked package the SAME *types.Package for a shared dependency
+// (two instances would load two distinct context.Context types and
+// cross-package signatures would stop unifying).
+func (ld *Load) importer() types.Importer {
+	if ld.gc == nil {
+		ld.gc = importer.ForCompiler(ld.Fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := ld.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(file)
+		})
+	}
+	return importerFunc(func(path string) (*types.Package, error) {
+		if pkg, ok := ld.checked[path]; ok {
+			return pkg, nil
+		}
+		return ld.gc.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newInfo allocates the types.Info tables the analyzers read.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// runGo executes the go command in dir and returns stdout.
+func runGo(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// moduleName returns the module path governing dir.
+func moduleName(dir string) (string, error) {
+	out, err := runGo(dir, "list", "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// ModuleRoot locates the module root directory from dir (the directory
+// holding go.mod) — tests run from their package directory and need
+// the root to load ./... from.
+func ModuleRoot(dir string) (string, error) {
+	out, err := runGo(dir, "env", "GOMOD")
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("lint: no module found from %s", dir)
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// plainPath strips go list's test-variant decoration
+// ("pkg [pkg.test]" -> "pkg").
+func plainPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// isPlainPath reports whether path is an ordinary package (not a test
+// variant, a synthesized .test binary, or an external _test package —
+// those are re-derived from the plain entry's file lists).
+func isPlainPath(path string) bool {
+	return !strings.ContainsAny(path, " [") && !strings.HasSuffix(path, ".test")
+}
+
+// LoadFixture type-checks a single fixture package rooted at dir (every
+// .go file in it, one package), resolving its imports — standard
+// library only — through export data listed on demand. The analyzer
+// unit tests load testdata packages with it.
+func LoadFixture(dir string) (*Load, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld := &Load{
+		Index:   NewIndex("fixture.example"),
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		checked: map[string]*types.Package{},
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	// Resolve the fixture's imports to export data in one go list call.
+	var syntax []*ast.File
+	imports := map[string]bool{}
+	for _, name := range files {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	if len(imports) > 0 {
+		args := []string{"list", "-export", "-deps", "-json"}
+		for p := range imports {
+			args = append(args, p)
+		}
+		sort.Strings(args[4:])
+		out, err := runGo(dir, args...)
+		if err != nil {
+			return nil, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				ld.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	name := filepath.Base(dir)
+	info := newInfo()
+	conf := types.Config{Importer: ld.importer()}
+	tpkg, err := conf.Check("fixture.example/"+name, ld.Fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", dir, err)
+	}
+	pkg := &Package{Path: tpkg.Path(), Fset: ld.Fset, Files: syntax, Types: tpkg, Info: info}
+	ld.add(pkg)
+	return ld, nil
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsmergeAnalyzer makes "add a stat field, forget to merge it" a
+// lint error instead of a silent zero in every aggregated report: the
+// sharded directory and the engine both publish per-shard statistics
+// that exist only through their merge functions.
+var StatsmergeAnalyzer = &Analyzer{
+	Name: "statsmerge",
+	Doc: `check that //cuckoo:stats merge=NAME structs are fully merged
+
+A struct annotated //cuckoo:stats merge=NAME names the function (or
+method, in the same package) that merges one value into another. Every
+field of the struct must be consumed by that function: read through the
+source operand AND written through the destination operand. A field
+that appears on only one side — or neither — is reported. Padding
+fields (_) are exempt.`,
+	Run: runStatsmerge,
+}
+
+func runStatsmerge(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				mergeName := pass.Index.MergeName(obj)
+				if mergeName == "" {
+					continue
+				}
+				checkMerge(pass, ts, obj, mergeName)
+			}
+		}
+	}
+	return nil
+}
+
+// checkMerge verifies that every field of the annotated struct typ is
+// consumed by the named merge function.
+func checkMerge(pass *Pass, ts *ast.TypeSpec, typ types.Object, mergeName string) {
+	st, ok := typ.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "//cuckoo:stats on %s, which is not a struct", typ.Name())
+		return
+	}
+	merge := findMergeDecl(pass, typ, mergeName)
+	if merge == nil {
+		pass.Reportf(ts.Pos(), "%s declares merge=%s, but no function or method %s taking %s is declared in this package",
+			typ.Name(), mergeName, mergeName, typ.Name())
+		return
+	}
+
+	// Split the merge function's operands: every parameter (and the
+	// receiver) whose type is the struct (by value, pointer, slice or
+	// variadic) is an operand; the receiver/first operand is the
+	// destination, the rest are sources.
+	var operands []types.Object
+	sig := pass.Pkg.Info.Defs[merge.Name].(*types.Func).Signature()
+	if recv := sig.Recv(); recv != nil && isOperandType(recv.Type(), typ) && merge.Recv != nil {
+		for _, f := range merge.Recv.List {
+			for _, n := range f.Names {
+				if o := pass.Pkg.Info.Defs[n]; o != nil {
+					operands = append(operands, o)
+				}
+			}
+		}
+	}
+	for _, f := range merge.Type.Params.List {
+		t := pass.Pkg.Info.TypeOf(f.Type)
+		if t == nil || !isOperandType(t, typ) {
+			continue
+		}
+		for _, n := range f.Names {
+			if o := pass.Pkg.Info.Defs[n]; o != nil {
+				operands = append(operands, o)
+			}
+		}
+	}
+	if len(operands) < 2 {
+		pass.Reportf(merge.Pos(), "merge function %s for %s needs a destination and a source operand of type %s (have %d)",
+			mergeName, typ.Name(), typ.Name(), len(operands))
+		return
+	}
+	dst, srcs := operands[0], operands[1:]
+
+	// Collect the fields selected through each operand anywhere in the
+	// body (including via range over a variadic source).
+	dstFields := map[string]bool{}
+	srcFields := map[string]bool{}
+	srcSet := map[types.Object]bool{}
+	for _, s := range srcs {
+		srcSet[s] = true
+	}
+	ast.Inspect(merge.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		root := rootObject(pass.Pkg.Info, sel.X)
+		if root == nil {
+			return true
+		}
+		if root == dst {
+			dstFields[sel.Sel.Name] = true
+		}
+		if srcSet[root] || derivedFrom(pass.Pkg.Info, merge.Body, root, srcSet) {
+			srcFields[sel.Sel.Name] = true
+		}
+		return true
+	})
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" {
+			continue
+		}
+		switch {
+		case !dstFields[f.Name()] && !srcFields[f.Name()]:
+			pass.Reportf(f.Pos(), "field %s of %s is not consumed by its merge function %s (declared at %s)",
+				f.Name(), typ.Name(), mergeName, describePos(pass.Pkg.Fset, merge.Pos()))
+		case !dstFields[f.Name()]:
+			pass.Reportf(f.Pos(), "field %s of %s is read but never written into the destination by %s",
+				f.Name(), typ.Name(), mergeName)
+		case !srcFields[f.Name()]:
+			pass.Reportf(f.Pos(), "field %s of %s is written but never read from the source by %s",
+				f.Name(), typ.Name(), mergeName)
+		}
+	}
+}
+
+// findMergeDecl locates the named merge function: a method on the
+// struct (or its pointer), or a package-level function.
+func findMergeDecl(pass *Pass, typ types.Object, name string) *ast.FuncDecl {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil {
+				// Package function: must take the struct somewhere.
+				for _, f := range fd.Type.Params.List {
+					if t := pass.Pkg.Info.TypeOf(f.Type); t != nil && isOperandType(t, typ) {
+						return fd
+					}
+				}
+				continue
+			}
+			if recvObj := pass.Pkg.Info.Defs[fd.Name].(*types.Func).Signature().Recv(); recvObj != nil && isOperandType(recvObj.Type(), typ) {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// isOperandType reports whether t is the annotated struct type,
+// possibly behind a pointer, slice or variadic wrapper.
+func isOperandType(t types.Type, typ types.Object) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		default:
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj() == typ
+			}
+			return false
+		}
+	}
+}
+
+// rootObject resolves the base identifier of a selector chain
+// (x, x.Y.Z -> object of x), unwrapping derefs and parens.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// derivedFrom reports whether local was bound from a source operand —
+// the `for _, st := range stats` pattern of variadic merges: a range
+// value (or := assignment) whose right side roots at a source.
+func derivedFrom(info *types.Info, body *ast.BlockStmt, local types.Object, srcs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if id, ok := n.Value.(*ast.Ident); ok && info.Defs[id] == local {
+					if root := rootObject(info, n.X); root != nil && srcs[root] {
+						found = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || info.Defs[id] != local && info.Uses[id] != local {
+					continue
+				}
+				if i < len(n.Rhs) {
+					if root := rootObject(info, n.Rhs[i]); root != nil && srcs[root] {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

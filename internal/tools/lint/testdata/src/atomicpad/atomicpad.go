@@ -1,0 +1,73 @@
+// Package atomicpad is the atomicpad analyzer's fixture: layout and
+// copy hazards on structs holding sync/atomic counters.
+package atomicpad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// goodCtr is the blessed layout: the mutex and the atomic block are a
+// full cache line apart.
+type goodCtr struct {
+	mu sync.Mutex
+	_  [64]byte
+	n  atomic.Uint64
+	m  atomic.Uint64
+}
+
+// noMutex holds atomics but no lock; no separation rule applies.
+type noMutex struct {
+	n atomic.Uint64
+	m atomic.Uint32
+}
+
+type adjacent struct { // want `adjacent: atomic counter field n is 0 bytes from mutex mu`
+	mu sync.Mutex
+	n  atomic.Uint64
+}
+
+type shortPad struct { // want `shortPad: atomic counter field n is 32 bytes from mutex mu`
+	mu sync.Mutex
+	_  [32]byte // want `pad field _ \[32\]byte in shortPad is not a whole positive number of 64-byte cache lines`
+	n  atomic.Uint64
+}
+
+func copyParam(c goodCtr) {} // want `parameter passes goodCtr by value`
+
+func copyReturn(p *goodCtr) goodCtr { // want `result passes goodCtr by value`
+	return *p // want `return copies goodCtr by value`
+}
+
+func copyAssign(p *goodCtr) {
+	c := *p // want `assignment copies goodCtr by value`
+	_ = &c
+}
+
+func copyRange(cs []goodCtr) {
+	for _, c := range cs { // want `range copies goodCtr by value`
+		_ = &c
+	}
+}
+
+// pointerUse is the accept path: pointers move freely.
+func pointerUse(p *goodCtr) *goodCtr {
+	p.n.Add(1)
+	return p
+}
+
+// indexUse iterates by index instead of copying.
+func indexUse(cs []goodCtr) uint64 {
+	total := uint64(0)
+	for i := range cs {
+		total += cs[i].n.Load()
+	}
+	return total
+}
+
+// snapshotIgnored documents a deliberate copy out of a quiesced value.
+func snapshotIgnored(p *goodCtr) {
+	//cuckoo:ignore fixture: the source is quiesced; this snapshot copy is deliberate
+	c := *p
+	_ = &c
+}

@@ -1,0 +1,26 @@
+// Package directives is the malformed-directive fixture: every
+// //cuckoo: comment in it is wrong in a way the indexer must report.
+// (Its diagnostics sit on the comment lines themselves, where `want`
+// annotations cannot ride — the test asserts them directly.)
+package directives
+
+//cuckoo:bogus not a verb
+var X = 1
+
+func reasonless() int {
+	//cuckoo:ignore
+	return X
+}
+
+//cuckoo:stats
+type noMergeName struct{ A int }
+
+//cuckoo:hotpath
+type hotOnType struct{ B int }
+
+//cuckoo:stats merge=Nope
+func statsOnFunc() {}
+
+var _ = hotOnType{}
+
+var _ = statsOnFunc

@@ -1,0 +1,113 @@
+// Package hotpath is the hotpath analyzer's fixture: every reject case
+// carries a `// want` pattern on its line; accept cases carry none.
+package hotpath
+
+import "fmt"
+
+type counter interface{ Inc() }
+
+// hotClean exercises the accept path: arithmetic, slices, struct
+// access and calls to annotated functions are all fine.
+//
+//cuckoo:hotpath
+func hotClean(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//cuckoo:hotpath
+func hotDefer(f func()) {
+	defer f() // want `defer in //cuckoo:hotpath function hotDefer`
+}
+
+//cuckoo:hotpath
+func hotIface(c counter) {
+	c.Inc() // want `interface method call counter.Inc in //cuckoo:hotpath function hotIface`
+}
+
+//cuckoo:hotpath
+func hotMap(m map[int]int) int {
+	return m[0] // want `map access in //cuckoo:hotpath function hotMap`
+}
+
+//cuckoo:hotpath
+func hotMapDelete(m map[int]int) {
+	delete(m, 1) // want `map delete in //cuckoo:hotpath function hotMapDelete`
+}
+
+//cuckoo:hotpath
+func hotMakeMap() map[int]int {
+	return make(map[int]int) // want `map construction in //cuckoo:hotpath function hotMakeMap`
+}
+
+//cuckoo:hotpath
+func hotRangeMap(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want `range over map in //cuckoo:hotpath function hotRangeMap`
+		s += v
+	}
+	return s
+}
+
+//cuckoo:hotpath
+func hotSend(ch chan int) {
+	ch <- 1 // want `channel send in //cuckoo:hotpath function hotSend`
+}
+
+//cuckoo:hotpath
+func hotRecv(ch chan int) int {
+	return <-ch // want `channel receive in //cuckoo:hotpath function hotRecv`
+}
+
+//cuckoo:hotpath
+func hotClose(ch chan int) {
+	close(ch) // want `channel close in //cuckoo:hotpath function hotClose`
+}
+
+//cuckoo:hotpath
+func hotSelect(ch chan int) {
+	select { // want `select in //cuckoo:hotpath function hotSelect`
+	case <-ch:
+	default:
+	}
+}
+
+//cuckoo:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `call to fmt.Sprintf in //cuckoo:hotpath function hotFmt`
+}
+
+// hotCallees exercises the one-level descend: helperBad is unannotated
+// and inherits the contract; helperCold is exempt.
+//
+//cuckoo:hotpath
+func hotCallees(m map[string]int) int {
+	helperCold(1)
+	return helperBad(m)
+}
+
+func helperBad(m map[string]int) int {
+	return m["k"] // want `map access in helperBad \(direct callee of //cuckoo:hotpath hotCallees\)`
+}
+
+// helperCold is an out-of-line failure helper: formatting and panics
+// are its whole point, and the cold annotation exempts it.
+//
+//cuckoo:cold
+func helperCold(x int) {
+	if x < 0 {
+		panic(fmt.Sprintf("negative: %d", x))
+	}
+}
+
+// hotIgnored shows the suppression grammar: the receive is deliberate
+// and documented, so no diagnostic survives.
+//
+//cuckoo:hotpath
+func hotIgnored(ch chan int) int {
+	//cuckoo:ignore fixture: this queue is a channel by design
+	return <-ch
+}

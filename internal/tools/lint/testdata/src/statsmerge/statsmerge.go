@@ -1,0 +1,74 @@
+// Package statsmerge is the statsmerge analyzer's fixture: annotated
+// stats structs whose merge functions consume all, some or none of
+// their fields.
+package statsmerge
+
+// goodStats merges completely: the accept path.
+//
+//cuckoo:stats merge=Merge
+type goodStats struct {
+	A uint64
+	B uint64
+}
+
+func (s *goodStats) Merge(o goodStats) {
+	s.A += o.A
+	s.B += o.B
+}
+
+//cuckoo:stats merge=Merge
+type badStats struct {
+	A uint64
+	B uint64 // want `field B of badStats is not consumed by its merge function Merge`
+}
+
+func (s *badStats) Merge(o badStats) {
+	s.A += o.A
+}
+
+//cuckoo:stats merge=Merge
+type halfStats struct {
+	A uint64
+	R uint64 // want `field R of halfStats is read but never written into the destination by Merge`
+	W uint64 // want `field W of halfStats is written but never read from the source by Merge`
+}
+
+func (s *halfStats) Merge(o halfStats) {
+	s.A += o.A
+	_ = o.R
+	s.W += 1
+}
+
+//cuckoo:stats merge=Absent
+type orphanStats struct { // want `orphanStats declares merge=Absent, but no function or method Absent taking orphanStats is declared in this package`
+	A uint64
+}
+
+// varStats merges through a variadic package function whose loop
+// variable is derived from the source operand: the accept path for
+// the MergeDirStats-style shape.
+//
+//cuckoo:stats merge=addAll
+type varStats struct {
+	N uint64
+	M uint64
+}
+
+func addAll(dst *varStats, srcs ...varStats) {
+	for _, st := range srcs {
+		dst.N += st.N
+		dst.M += st.M
+	}
+}
+
+// padded structs exempt their blank padding fields.
+//
+//cuckoo:stats merge=Merge
+type paddedStats struct {
+	A uint64
+	_ [56]byte
+}
+
+func (s *paddedStats) Merge(o paddedStats) {
+	s.A += o.A
+}
