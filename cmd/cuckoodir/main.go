@@ -131,9 +131,9 @@ func parseOrgList(s string) ([]string, error) {
 		if name == "" {
 			continue
 		}
-		spec, ok := directory.LookupSpec(name)
-		if !ok {
-			return nil, fmt.Errorf("-dir: unknown organization %q (see `cuckoodir orgs`)", name)
+		spec, err := directory.LookupSpecErr(name)
+		if err != nil {
+			return nil, fmt.Errorf("-dir: %w (see `cuckoodir orgs`)", err)
 		}
 		if err := spec.WithCaches(16).Validate(); err != nil {
 			return nil, fmt.Errorf("-dir %q: %w", name, err)
@@ -192,7 +192,9 @@ func orgsCmd() error {
 		fmt.Printf("%-20s %-14s %s\n", name, spec.Org, shape)
 	}
 	fmt.Println("\nparametric names are also accepted: cuckoo-4x1024, sparse-8x2048, skewed-4x1024,")
-	fmt.Println("elbow-4x1024, dup-tag-ASSOCxSETS, tagless-SETSxBITSxHASHES, in-cache-N, ideal-N")
+	fmt.Println("elbow-4x1024, dup-tag-ASSOCxSETS, tagless-SETSxBITSxHASHES, in-cache-N, ideal-N,")
+	fmt.Println("and sharded forms sharded-N[@mix|@interleave][^grow=LOAD[xFACTOR]](inner) — the")
+	fmt.Println("optional ^grow policy resizes overloaded shards online under the engine")
 	return nil
 }
 
@@ -347,9 +349,9 @@ func traceCmd(args []string) error {
 		if dirName == "" {
 			dirName = "cuckoo-" + cmpsim.ChosenCuckooSize(cfgKind).String()
 		}
-		spec, ok := directory.LookupSpec(dirName)
-		if !ok {
-			return fmt.Errorf("trace: unknown -dir %q (see `cuckoodir orgs`)", dirName)
+		spec, err := directory.LookupSpecErr(dirName)
+		if err != nil {
+			return fmt.Errorf("trace: -dir: %w (see `cuckoodir orgs`)", err)
 		}
 		if *workers > 0 || *shards > 0 || *batch > 0 || *homeFlag != "" || *engineFlag || spec.Shard.Count > 0 {
 			return replayParallel(rd, spec, *workers, *shards, *batch, *homeFlag,
@@ -463,7 +465,11 @@ func usage() {
                                   or a sharded -dir name like "sharded-8(cuckoo-4x1024)");
                                   -engine submits through the asynchronous
                                   DirectoryEngine instead of the direct
-                                  ApplyShard worker pool
+                                  ApplyShard worker pool; a -dir with a
+                                  "^grow=LOAD[xFACTOR]" policy (e.g.
+                                  "sharded-8^grow=0.85(cuckoo-4x1024)") resizes
+                                  overloaded shards online during the replay and
+                                  reports the migrations in the result line
 
 flags (run/all):
   -scale quick|full   measurement scale (default quick)

@@ -22,7 +22,12 @@
 //     an asynchronous submission front-end over it — bounded per-shard
 //     request queues drained by dedicated goroutines, with Tickets,
 //     callbacks, Flush and backpressure — so clients queue directory work
-//     instead of blocking in it. The parallel replay pipeline
+//     instead of blocking in it. Shards resize online: an explicit
+//     ResizeShardSpec (or a "^grow=LOAD" policy in the name grammar)
+//     swaps in a larger slice behind a live old/new union view and the
+//     engine's drainers migrate the entries incrementally — no entry
+//     lost, no stop-the-world (see DESIGN.md §11 and the "resize"
+//     experiment). The parallel replay pipeline
 //     (ReplayTraceParallel, `cuckoodir trace replay -workers N`, or
 //     `-engine` for the asynchronous path) measures both from recorded
 //     traces.
@@ -179,6 +184,36 @@ const (
 
 // ParseShardHome parses a home-function name ("mix", "interleave").
 func ParseShardHome(s string) (ShardHome, error) { return directory.ParseHome(s) }
+
+// ---- online resize ----
+
+// ResizePolicy is the automatic online-resize policy of a
+// ShardedDirectory (Spec.Shard.Resize; "^grow=LOAD[xFACTOR]" in the
+// registry grammar): a shard whose load factor reaches MaxLoad is grown
+// Factor-fold by a live incremental rehash. The engine's drainers
+// trigger and execute the migrations between request runs; explicit
+// resizes go through ShardedDirectory.ResizeShardSpec (or
+// Engine.ResizeShardSpec to run the migration under the engine). See
+// DESIGN.md §11.
+type ResizePolicy = directory.ResizePolicy
+
+// ResizeStats is the aggregate online-resize snapshot of a
+// ShardedDirectory (ShardedDirectory.ResizeStats).
+type ResizeStats = directory.ResizeStats
+
+// Online-resize defaults.
+const (
+	// DefaultMigrationRun is the number of entries one migration step
+	// moves (ResizePolicy.Run = 0).
+	DefaultMigrationRun = directory.DefaultMigrationRun
+	// DefaultGrowthFactor is the capacity multiplier of an automatic
+	// grow (ResizePolicy.Factor = 0).
+	DefaultGrowthFactor = directory.DefaultGrowthFactor
+)
+
+// ErrResizeInProgress reports a resize of a shard that is already
+// migrating.
+var ErrResizeInProgress = directory.ErrResizeInProgress
 
 // BuildSharded builds a concurrency-safe directory of shardCount
 // address-interleaved slices, each one instance of the spec (the spec's

@@ -33,10 +33,15 @@
 //	sharded forms (a concurrency-safe front-end around any inner name):
 //	    sharded-8(cuckoo-4x512)
 //	    sharded-8@interleave(sparse-8x2048)
+//	    sharded-8^grow=0.85x2(cuckoo-4x512)
 //
 // "skew-" and "dup-" abbreviate "skewed-" and "dup-tag-". The sharded
 // form's optional "@mix" / "@interleave" selects the shard home
 // function (Home); the geometry inside the parentheses describes ONE
-// shard, so "sharded-8(cuckoo-4x512)" has 8 x 2048 entry slots.
+// shard, so "sharded-8(cuckoo-4x512)" has 8 x 2048 entry slots. The
+// optional "^grow=LOAD[xFACTOR]" attaches an automatic online-resize
+// policy (ResizePolicy): a shard reaching the LOAD load factor is grown
+// FACTOR-fold (default 2) by a live incremental rehash (see resize.go
+// and DESIGN.md §11).
 // Spec.String renders the same grammar back, making names round-trip.
 package directory

@@ -79,16 +79,34 @@ func LookupSpec(name string) (Spec, bool) {
 	return ParseSpecName(name)
 }
 
+// LookupSpecErr resolves a name like LookupSpec but reports WHY an
+// unresolvable name failed: a malformed "sharded-" name gets its
+// grammar error (a name that got that far is a sharded-name attempt,
+// not a different organization), anything else the registered-names
+// listing. CLI surfaces use this so "^grow=1.5" says "must be in
+// (0,1]" instead of "unknown organization".
+func LookupSpecErr(name string) (Spec, error) {
+	if spec, ok := LookupSpec(name); ok {
+		return spec, nil
+	}
+	if rest, isSharded := strings.CutPrefix(name, "sharded-"); isSharded {
+		if _, err := parseShardedNameErr(rest); err != nil {
+			return Spec{}, fmt.Errorf("%w (in %q)", err, name)
+		}
+	}
+	return Spec{}, fmt.Errorf("directory: unknown organization %q (registered: %s; or a parametric name like cuckoo-4x512)",
+		name, strings.Join(Names(), ", "))
+}
+
 // BuildNamed builds the named organization for numCaches tracked caches.
 // numCaches, when non-zero, overrides the spec's own cache count; passing
 // 0 uses the count the spec was registered with, which only works for
 // specs registered with a non-zero NumCaches (parametric names and the
 // built-in registry leave it unbound).
 func BuildNamed(name string, numCaches int) (Directory, error) {
-	spec, ok := LookupSpec(name)
-	if !ok {
-		return nil, fmt.Errorf("directory: unknown organization %q (registered: %s; or a parametric name like cuckoo-4x512)",
-			name, strings.Join(Names(), ", "))
+	spec, err := LookupSpecErr(name)
+	if err != nil {
+		return nil, err
 	}
 	if numCaches != 0 {
 		spec.NumCaches = numCaches
@@ -106,11 +124,13 @@ func BuildNamed(name string, numCaches int) (Directory, error) {
 //	dup-tag-16x1024 (assoc x sets)  tagless-512x32x2 (sets x bits x k)
 //	in-cache-16384  ideal  ideal-2048
 //	sharded-8(cuckoo-4x512)  sharded-8@interleave(sparse-8x2048)
+//	sharded-8^grow=0.85(cuckoo-4x512)  sharded-8@mix^grow=0.85x4(...)
 //
 // "skew-" and "dup-" are accepted as aliases of "skewed-" and
 // "dup-tag-". The sharded form wraps any registered or parametric inner
 // name (nesting is rejected); "@mix" and "@interleave" select the home
-// function (see Home), defaulting to the mixing hash.
+// function (see Home), defaulting to the mixing hash, and "^grow="
+// attaches an automatic online-resize policy (see ResizePolicy).
 //
 // The boolean is false when the name matches no organization; geometry
 // errors surface later, from Build.
@@ -144,35 +164,91 @@ var orgAliases = map[string]Org{
 	"dup":  OrgDuplicateTag,
 }
 
-// parseShardedName parses the "N(inner)" / "N@home(inner)" suffix of a
-// "sharded-" name. The inner name resolves through LookupSpec, so both
-// registered and parametric names shard; nested sharding is rejected.
+// parseShardedName parses the "N(inner)" suffix forms of a "sharded-"
+// name (see parseShardedNameErr). The inner name resolves through
+// LookupSpec, so both registered and parametric names shard; nested
+// sharding is rejected.
 func parseShardedName(rest string) (Spec, bool) {
+	spec, err := parseShardedNameErr(rest)
+	return spec, err == nil
+}
+
+// parseShardedNameErr parses the suffix of a "sharded-" name —
+// "N(inner)", "N@home(inner)", "N^grow=LOAD[xFACTOR](inner)" or
+// "N@home^grow=...(inner)" — reporting WHY a malformed name does not
+// parse. ParseSpecName keeps its boolean contract through the
+// parseShardedName wrapper; BuildNamed surfaces these errors directly,
+// since a name that got as far as "sharded-" is a sharded-name attempt,
+// not a different organization.
+func parseShardedNameErr(rest string) (Spec, error) {
 	open := strings.IndexByte(rest, '(')
 	if open < 0 || !strings.HasSuffix(rest, ")") {
-		return Spec{}, false
+		return Spec{}, fmt.Errorf("directory: sharded name: want sharded-N[@home][^grow=LOAD[xFACTOR]](inner), e.g. %q; missing the (inner) organization",
+			"sharded-8(cuckoo-4x512)")
 	}
 	head, innerName := rest[:open], rest[open+1:len(rest)-1]
+	polName := ""
+	if caret := strings.IndexByte(head, '^'); caret >= 0 {
+		head, polName = head[:caret], head[caret+1:]
+	}
 	homeName := ""
 	if at := strings.IndexByte(head, '@'); at >= 0 {
 		head, homeName = head[:at], head[at+1:]
 	}
 	count, err := strconv.Atoi(head)
 	if err != nil || count <= 0 {
-		return Spec{}, false
+		return Spec{}, fmt.Errorf("directory: sharded name: shard count %q must be a positive integer (a power of two builds)", head)
 	}
 	home := HomeMix
 	if homeName != "" {
 		if home, err = ParseHome(homeName); err != nil {
-			return Spec{}, false
+			return Spec{}, err
+		}
+	}
+	var pol ResizePolicy
+	if polName != "" {
+		if pol, err = parseResizePolicy(polName); err != nil {
+			return Spec{}, err
 		}
 	}
 	inner, ok := LookupSpec(innerName)
-	if !ok || inner.Shard.Count > 0 {
-		return Spec{}, false
+	if !ok {
+		return Spec{}, fmt.Errorf("directory: sharded name: inner organization %q is neither registered nor a parametric name", innerName)
 	}
-	inner.Shard = ShardSpec{Count: count, Home: home}
-	return inner, true
+	if inner.Shard.Count > 0 {
+		return Spec{}, fmt.Errorf("directory: sharded name: inner organization %q is itself sharded (nested sharding is not supported)", innerName)
+	}
+	inner.Shard = ShardSpec{Count: count, Home: home, Resize: pol}
+	return inner, nil
+}
+
+// parseResizePolicy parses the "grow=LOAD[xFACTOR]" resize-policy
+// suffix of a sharded name ("grow=0.85", "grow=0.85x4").
+func parseResizePolicy(s string) (ResizePolicy, error) {
+	val, ok := strings.CutPrefix(s, "grow=")
+	if !ok {
+		return ResizePolicy{}, fmt.Errorf("directory: sharded name: unknown resize policy %q (want grow=LOAD[xFACTOR], e.g. grow=0.85x2)", s)
+	}
+	loadStr, facStr, hasFac := strings.Cut(val, "x")
+	load, err := strconv.ParseFloat(loadStr, 64)
+	if err != nil {
+		return ResizePolicy{}, fmt.Errorf("directory: sharded name: resize-policy load factor %q is not a number", loadStr)
+	}
+	if load <= 0 || load > 1 {
+		// "grow=0" would validate as the zero (disabled) policy, but in a
+		// name the user asked for one — reject rather than silently no-op.
+		return ResizePolicy{}, fmt.Errorf("directory: sharded name: resize-policy load factor %v must be in (0,1]", load)
+	}
+	pol := ResizePolicy{MaxLoad: load}
+	if hasFac {
+		if pol.Factor, err = strconv.Atoi(facStr); err != nil {
+			return ResizePolicy{}, fmt.Errorf("directory: sharded name: resize-policy growth factor %q is not an integer", facStr)
+		}
+	}
+	if err := pol.validate(); err != nil {
+		return ResizePolicy{}, err
+	}
+	return pol, nil
 }
 
 // parseSpecParams parses the per-organization parameter suffix.

@@ -326,3 +326,121 @@ func TestOrgAliases(t *testing.T) {
 		t.Fatalf("dup-16x1024: ok=%v spec=%v", ok, spec)
 	}
 }
+
+// TestShardedNameErrors: malformed sharded and resize-policy names must
+// fail BuildNamed with an error that says what is wrong — never a panic
+// and never the generic unknown-organization listing.
+func TestShardedNameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		want string // substring of the error
+	}{
+		{"sharded-8", "missing the (inner) organization"},
+		{"sharded-8cuckoo-4x512", "missing the (inner) organization"},
+		{"sharded-(cuckoo-4x512)", "must be a positive integer"},
+		{"sharded--2(cuckoo-4x512)", "must be a positive integer"},
+		{"sharded-0(cuckoo-4x512)", "must be a positive integer"},
+		{"sharded-8@north(cuckoo-4x512)", "home"},
+		{"sharded-8(nonsense-1x2)", "neither registered nor a parametric name"},
+		{"sharded-8(sharded-2(cuckoo-4x512))", "nested sharding is not supported"},
+		{"sharded-8^shrink=0.5(cuckoo-4x512)", "unknown resize policy"},
+		{"sharded-8^grow=(cuckoo-4x512)", "not a number"},
+		{"sharded-8^grow=high(cuckoo-4x512)", "not a number"},
+		{"sharded-8^grow=1.5(cuckoo-4x512)", "must be in (0,1]"},
+		{"sharded-8^grow=0(cuckoo-4x512)", "must be in (0,1]"},
+		{"sharded-8^grow=-0.5(cuckoo-4x512)", "must be in (0,1]"},
+		{"sharded-8^grow=0.85x3(cuckoo-4x512)", "power of two"},
+		{"sharded-8^grow=0.85x-2(cuckoo-4x512)", "power of two"},
+		{"sharded-8^grow=0.85xtwo(cuckoo-4x512)", "not an integer"},
+	}
+	for _, c := range cases {
+		d, err := BuildNamed(c.name, 8)
+		if err == nil {
+			t.Errorf("%s: built %v, want an error", c.name, d.Name())
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not explain the problem (want substring %q)", c.name, err, c.want)
+		}
+		if strings.Contains(err.Error(), "registered:") {
+			t.Errorf("%s: fell back to the unknown-organization listing: %q", c.name, err)
+		}
+		// And the boolean contract: these names do not resolve.
+		if _, ok := ParseSpecName(c.name); ok {
+			t.Errorf("%s: ParseSpecName resolved a malformed name", c.name)
+		}
+		// LookupSpecErr (the CLI's resolution path) reports the same
+		// grammar diagnosis, not the unknown-organization listing.
+		if _, err := LookupSpecErr(c.name); err == nil {
+			t.Errorf("%s: LookupSpecErr resolved a malformed name", c.name)
+		} else if !strings.Contains(err.Error(), c.want) || strings.Contains(err.Error(), "registered:") {
+			t.Errorf("%s: LookupSpecErr = %q, want substring %q without the listing", c.name, err, c.want)
+		}
+	}
+	if _, err := LookupSpecErr("nonsense"); err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("LookupSpecErr(nonsense) = %v, want the registered-names listing", err)
+	}
+	if spec, err := LookupSpecErr("sharded-8^grow=0.85(cuckoo-4x512)"); err != nil || spec.Shard.Resize.MaxLoad != 0.85 {
+		t.Errorf("LookupSpecErr(well-formed grow name) = %+v, %v", spec, err)
+	}
+}
+
+// TestShardedGrowNames: well-formed ^grow names parse into the policy,
+// build, and round-trip through Spec.String.
+func TestShardedGrowNames(t *testing.T) {
+	cases := []struct {
+		name string
+		pol  ResizePolicy
+	}{
+		{"sharded-8^grow=0.85(cuckoo-4x512)", ResizePolicy{MaxLoad: 0.85}},
+		{"sharded-8^grow=0.85x2(cuckoo-4x512)", ResizePolicy{MaxLoad: 0.85, Factor: 2}},
+		{"sharded-4@interleave^grow=0.5x4(sparse-8x64)", ResizePolicy{MaxLoad: 0.5, Factor: 4}},
+	}
+	for _, c := range cases {
+		spec, ok := ParseSpecName(c.name)
+		if !ok {
+			t.Errorf("%s did not resolve", c.name)
+			continue
+		}
+		if spec.Shard.Resize != c.pol {
+			t.Errorf("%s: policy %+v, want %+v", c.name, spec.Shard.Resize, c.pol)
+		}
+		d, err := BuildNamed(c.name, 8)
+		if err != nil {
+			t.Errorf("%s: build: %v", c.name, err)
+			continue
+		}
+		sd := d.(*ShardedDirectory)
+		if got := sd.ResizePolicy(); got != c.pol {
+			t.Errorf("%s: built policy %+v, want %+v", c.name, got, c.pol)
+		}
+	}
+}
+
+// TestSpecValidateResizePolicy: policy misuse is caught by Validate with
+// a targeted error.
+func TestSpecValidateResizePolicy(t *testing.T) {
+	base := Spec{Org: OrgCuckoo, NumCaches: 8, Geometry: Geometry{Ways: 4, Sets: 64}}
+	cases := []struct {
+		mutate func(*Spec)
+		want   string
+	}{
+		{func(s *Spec) { s.Shard.Resize = ResizePolicy{MaxLoad: 0.9} }, "Shard.Resize set on an unsharded spec"},
+		{func(s *Spec) { s.Shard = ShardSpec{Count: 2, Resize: ResizePolicy{MaxLoad: 2}} }, "need 0 < MaxLoad <= 1"},
+		{func(s *Spec) { s.Shard = ShardSpec{Count: 2, Resize: ResizePolicy{Factor: 2}} }, "MaxLoad = 0"},
+		{func(s *Spec) { s.Shard = ShardSpec{Count: 2, Resize: ResizePolicy{MaxLoad: 0.9, Factor: 6}} }, "power of two"},
+		{func(s *Spec) { s.Shard = ShardSpec{Count: 2, Resize: ResizePolicy{MaxLoad: 0.9, Run: -1}} }, "Run = -1"},
+	}
+	for i, c := range cases {
+		s := base
+		c.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("case %d: spec validated, want an error", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q, want substring %q", i, err, c.want)
+		}
+	}
+}

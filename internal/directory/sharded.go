@@ -112,6 +112,15 @@ type ShardedDirectory struct {
 	homeKind  Home
 	numCaches int
 	name      string
+
+	// Online-resize state (resize.go). policy is fixed at build time;
+	// the counters back the lock-free ResizeStats/MigratingShards views.
+	policy          ResizePolicy
+	migCount        atomic.Int32
+	resizeStarted   atomic.Uint64
+	resizeDone      atomic.Uint64
+	migratedEntries atomic.Uint64
+	migrationForced atomic.Uint64
 }
 
 // ShardCounters is a snapshot of the hot operation counters a
@@ -252,8 +261,16 @@ func (ctr *shardCtr) reset() {
 type dirShard struct {
 	mu  sync.Mutex
 	dir Directory
-	_   [64]byte
-	ctr shardCtr
+	// spec is the slice's current build spec when the directory came
+	// through Build/BuildSharded (zero Org for factory-built shards) —
+	// the geometry automatic growth (GrowShard) scales from. Guarded by
+	// mu, like dir.
+	spec Spec
+	_    [64]byte
+	ctr  shardCtr
+	// migrating mirrors "dir is a *migratingDir", readable without the
+	// lock (ShardMigrating); flipped only under mu.
+	migrating atomic.Bool
 }
 
 // NewSharded builds a concurrency-safe directory of shardCount

@@ -2,6 +2,7 @@ package directory
 
 import (
 	"fmt"
+	"strings"
 
 	"cuckoodir/internal/core"
 	"cuckoodir/internal/hashfn"
@@ -98,6 +99,9 @@ type ShardSpec struct {
 	Count int
 	// Home selects the shard-homing function (default HomeMix).
 	Home Home
+	// Resize, when non-zero, enables automatic per-shard growth (the
+	// online-resize policy of resize.go; registry form "^grow=0.85x2").
+	Resize ResizePolicy
 }
 
 // Spec declaratively describes one directory slice: which organization,
@@ -144,7 +148,21 @@ func (s Spec) String() string {
 	if s.Shard.Count > 0 {
 		inner := s
 		inner.Shard = ShardSpec{}
-		return shardedName(s.Shard.Count, s.Shard.Home, inner.String())
+		name := shardedName(s.Shard.Count, s.Shard.Home, inner.String())
+		if pol := s.Shard.Resize; pol != (ResizePolicy{}) {
+			// Insert the policy suffix before "(inner)":
+			// "sharded-8^grow=0.85x4(cuckoo-4x512)". The default factor
+			// and run are omitted, so the form ParseSpecName produces
+			// round-trips.
+			suffix := fmt.Sprintf("^grow=%g", pol.MaxLoad)
+			if pol.Factor != 0 && pol.Factor != DefaultGrowthFactor {
+				suffix += fmt.Sprintf("x%d", pol.Factor)
+			}
+			if open := strings.IndexByte(name, '('); open >= 0 {
+				name = name[:open] + suffix + name[open:]
+			}
+		}
+		return name
 	}
 	var name string
 	switch s.Org {
@@ -189,6 +207,14 @@ func (s Spec) validate(allowUnboundCaches bool) error {
 	}
 	if s.Shard.Home > HomeInterleave {
 		return fmt.Errorf("directory: spec %s: unknown Shard.Home %d", s.Org, s.Shard.Home)
+	}
+	if s.Shard.Resize != (ResizePolicy{}) {
+		if s.Shard.Count == 0 {
+			return fmt.Errorf("directory: spec %s: Shard.Resize set on an unsharded spec (online resize is a ShardedDirectory feature)", s.Org)
+		}
+		if err := s.Shard.Resize.validate(); err != nil {
+			return err
+		}
 	}
 	switch s.Org {
 	case OrgCuckoo:
@@ -345,8 +371,13 @@ func Build(s Spec) (Directory, error) {
 	if s.Shard.Count > 0 {
 		inner := s
 		inner.Shard = ShardSpec{}
-		return NewShardedHome(s.Shard.Count, s.Shard.Home,
+		sd, err := NewShardedHome(s.Shard.Count, s.Shard.Home,
 			func(int) Directory { return MustBuild(inner) })
+		if err != nil {
+			return nil, err
+		}
+		sd.adoptSpec(inner, s.Shard.Resize)
+		return sd, nil
 	}
 	switch s.Org {
 	case OrgCuckoo:

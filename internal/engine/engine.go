@@ -52,6 +52,23 @@
 // for it, guaranteeing every previously-submitted request has been
 // applied. Close flushes and stops the drainers; the ShardedDirectory
 // itself stays usable.
+//
+// # Online resize
+//
+// The engine is also the executor of the directory's live resizes
+// (DESIGN.md §11): between request runs — and whenever its queue goes
+// idle while a migration is pending — a drainer migrates a bounded run
+// of entries for each of ITS shards (MigrateShard), so one shard's
+// rehash steals cycles only from its own drainer and the other shards
+// keep serving at full speed. Resizes start through ResizeShard /
+// ResizeShardSpec (which nudge the right drainer awake), or
+// automatically when the directory carries a ResizePolicy and a shard
+// crosses its load threshold after a drained run. Flush barriers and
+// Close interleave with migration steps like any other queue work:
+// a barrier completes as soon as the requests before it have applied —
+// it does NOT wait for migration to finish — and Close may park an
+// in-progress migration, leaving the directory fully correct (the
+// union view keeps serving; FinishResizes completes it synchronously).
 package engine
 
 import (
@@ -110,6 +127,10 @@ type Options struct {
 	QueueDepth int
 	// Policy selects blocking or rejecting backpressure on a full queue.
 	Policy Policy
+	// MigrationRun bounds the pending addresses one background migration
+	// step examines during a live resize (0 = the directory policy's
+	// run length, or directory.DefaultMigrationRun).
+	MigrationRun int
 }
 
 // DefaultQueueDepth is the per-drainer queue bound when Options leaves
@@ -228,6 +249,26 @@ type Stats struct {
 	Rejected uint64
 	// Flushes counts Flush barriers completed.
 	Flushes uint64
+	// MigrationRuns / MigratedEntries count background migration steps
+	// the drainers executed during live resizes and the entries those
+	// steps moved old table -> new table (touch migrations on the access
+	// path are not the drainers' work and are counted by the directory's
+	// own ResizeStats instead).
+	MigrationRuns   uint64
+	MigratedEntries uint64
+	// ResizesStarted counts resizes begun through the engine (the
+	// ResizeShard/ResizeShardSpec API and automatic growth);
+	// ResizesCompleted counts migrations the drainers drove to
+	// completion. An empty-shard resize completes in place without
+	// drainer work, so it is counted started but not completed here
+	// (the directory's ResizeStats counts both sides).
+	ResizesStarted   uint64
+	ResizesCompleted uint64
+	// GrowFailures counts automatic-growth attempts that failed (a
+	// grown geometry exceeding spec bounds, or a shard with no retained
+	// spec). The trigger condition persists, so one overload can count
+	// many failures.
+	GrowFailures uint64
 }
 
 // Merge accumulates another snapshot into s — the aggregation path for
@@ -241,6 +282,11 @@ func (s *Stats) Merge(o Stats) {
 	s.CompletedRequests += o.CompletedRequests
 	s.Rejected += o.Rejected
 	s.Flushes += o.Flushes
+	s.MigrationRuns += o.MigrationRuns
+	s.MigratedEntries += o.MigratedEntries
+	s.ResizesStarted += o.ResizesStarted
+	s.ResizesCompleted += o.ResizesCompleted
+	s.GrowFailures += o.GrowFailures
 }
 
 // MergeStats merges engine snapshots into one fresh aggregate.
@@ -268,11 +314,16 @@ type Engine struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// auto is fixed at New: the directory carries a ResizePolicy, so
+	// drainers check their shards' load after each run.
+	auto bool
+
 	// The stats counters are polled lock-free while mu's word bounces
 	// between submitters; keep them a full cache line away.
 	_ [64]byte
 
 	subAcc, cmpAcc, subReq, cmpReq, rejected, flushes atomic.Uint64
+	migRuns, migrated, rzStarted, rzDone, growFail    atomic.Uint64
 }
 
 // New builds an engine over dir and starts its drainer goroutines. The
@@ -283,8 +334,9 @@ func New(dir *directory.ShardedDirectory, o Options) (*Engine, error) {
 	if dir == nil {
 		return nil, errors.New("engine: nil directory")
 	}
-	if o.Drainers < 0 || o.QueueDepth < 0 {
-		return nil, fmt.Errorf("engine: negative option (drainers %d, queue depth %d)", o.Drainers, o.QueueDepth)
+	if o.Drainers < 0 || o.QueueDepth < 0 || o.MigrationRun < 0 {
+		return nil, fmt.Errorf("engine: negative option (drainers %d, queue depth %d, migration run %d)",
+			o.Drainers, o.QueueDepth, o.MigrationRun)
 	}
 	if o.Policy > RejectWhenFull {
 		return nil, fmt.Errorf("engine: unknown policy %d", o.Policy)
@@ -299,6 +351,7 @@ func New(dir *directory.ShardedDirectory, o Options) (*Engine, error) {
 	for i := range e.queues {
 		e.queues[i] = make(chan request, o.QueueDepth)
 	}
+	e.auto = dir.ResizePolicy().MaxLoad > 0
 	e.wg.Add(o.Drainers)
 	for i := range e.queues {
 		go e.drain(i)
@@ -321,6 +374,11 @@ func (e *Engine) Stats() Stats {
 		CompletedRequests: e.cmpReq.Load(),
 		Rejected:          e.rejected.Load(),
 		Flushes:           e.flushes.Load(),
+		MigrationRuns:     e.migRuns.Load(),
+		MigratedEntries:   e.migrated.Load(),
+		ResizesStarted:    e.rzStarted.Load(),
+		ResizesCompleted:  e.rzDone.Load(),
+		GrowFailures:      e.growFail.Load(),
 	}
 }
 
@@ -637,7 +695,11 @@ func (e *Engine) drain(qi int) {
 
 // drainLoop is the drainer's run loop. Its queue IS a channel — the
 // pops carry ignore directives; everything else on the loop honors the
-// hot-path contract.
+// hot-path contract. Resize work interleaves here: while any shard
+// migrates, an idle queue yields migration steps instead of a blocking
+// pop, and every applied run is followed by one bounded step — so a
+// live rehash proceeds under sustained traffic AND drains at full
+// drainer speed in the gaps, without a dedicated migration goroutine.
 //
 //cuckoo:hotpath
 func (e *Engine) drainLoop(qi int, q chan request, singleShard bool, buckets [][]int32) {
@@ -647,8 +709,29 @@ func (e *Engine) drainLoop(qi int, q chan request, singleShard bool, buckets [][
 	var gatherAccs []directory.Access // per-shard gather (grouped path)
 	var gatherOps []directory.Op
 	for {
-		//cuckoo:ignore the request queue is a channel by design; this is the drainer's blocking pop
-		r := <-q
+		var r request
+		if e.dir.MigratingShards() > 0 {
+			var popped bool
+			//cuckoo:ignore the non-blocking idle-check pop off the channel queue; migration steps fill the idle gap, by design
+			select {
+			case r = <-q:
+				popped = true
+			default:
+			}
+			if !popped {
+				if e.migrateStep(qi) {
+					// Progressed a migration; re-check the queue before
+					// the next step so requests never wait on one.
+					continue
+				}
+				// The migrating shards belong to other drainers.
+				//cuckoo:ignore the request queue is a channel by design; this is the drainer's blocking pop
+				r = <-q
+			}
+		} else {
+			//cuckoo:ignore the request queue is a channel by design; this is the drainer's blocking pop
+			r = <-q
+		}
 		// Pop a run: r plus everything already queued, until a barrier
 		// or stop sentinel (processed after the run) or a bound trips.
 		run = run[:0]
@@ -674,14 +757,112 @@ func (e *Engine) drainLoop(qi int, q chan request, singleShard bool, buckets [][
 		}
 		if len(run) > 0 {
 			e.applyRun(qi, run, singleShard, buckets, &concatAccs, &concatOps, &gatherAccs, &gatherOps)
+			// One bounded migration step per applied run keeps a rehash
+			// progressing under sustained traffic; the load check may
+			// START one when the directory has an automatic-growth
+			// policy.
+			if e.dir.MigratingShards() > 0 {
+				e.migrateStep(qi)
+			}
+			if e.auto {
+				e.maybeGrow(qi)
+			}
 		}
 		if tail != nil {
 			if tail.stop {
 				return
 			}
-			tail.t.complete()
+			// A nudge (ResizeShard's drainer wake-up) is a barrier with
+			// no ticket: nothing to complete.
+			if tail.t != nil {
+				tail.t.complete()
+			}
 		}
 	}
+}
+
+// migrateStep runs one bounded migration step for each of this
+// drainer's migrating shards, reporting whether any shard made
+// progress. Off the hot path: it runs at most once per applied run (or
+// on an idle queue), not per access.
+//
+//cuckoo:cold
+func (e *Engine) migrateStep(qi int) bool {
+	stepped := false
+	for h := qi; h < e.dir.ShardCount(); h += e.opt.Drainers {
+		if !e.dir.ShardMigrating(h) {
+			continue
+		}
+		moved, done := e.dir.MigrateShard(h, e.opt.MigrationRun)
+		e.migRuns.Add(1)
+		e.migrated.Add(uint64(moved))
+		if done {
+			e.rzDone.Add(1)
+		}
+		stepped = true
+	}
+	return stepped
+}
+
+// maybeGrow applies the directory's automatic-growth policy to this
+// drainer's shards after a drained run.
+//
+//cuckoo:cold
+func (e *Engine) maybeGrow(qi int) {
+	for h := qi; h < e.dir.ShardCount(); h += e.opt.Drainers {
+		started, err := e.dir.GrowShard(h)
+		if err != nil {
+			e.growFail.Add(1)
+			continue
+		}
+		if started {
+			e.rzStarted.Add(1)
+		}
+	}
+}
+
+// ResizeShard begins a live resize of shard h — see
+// directory.ShardedDirectory.ResizeShard — and nudges the shard's
+// drainer so the migration proceeds even while its queue is idle. The
+// drainers execute the migration between request runs; traffic keeps
+// flowing throughout.
+func (e *Engine) ResizeShard(h int, build func() directory.Directory) error {
+	return e.resize(h, func() error { return e.dir.ResizeShard(h, build) })
+}
+
+// ResizeShardSpec is ResizeShard with the replacement described by a
+// slice spec (see directory.ShardedDirectory.ResizeShardSpec).
+func (e *Engine) ResizeShardSpec(h int, slice directory.Spec) error {
+	return e.resize(h, func() error { return e.dir.ResizeShardSpec(h, slice) })
+}
+
+// resize runs one begin-resize path under the submission lock (so it
+// cannot race Close's stop sentinels) and wakes the owning drainer.
+func (e *Engine) resize(h int, begin func() error) error {
+	if h < 0 || h >= e.dir.ShardCount() {
+		return fmt.Errorf("engine: ResizeShard: shard %d out of range (have %d)", h, e.dir.ShardCount())
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := begin(); err != nil {
+		return err
+	}
+	e.rzStarted.Add(1)
+	if !e.dir.ShardMigrating(h) {
+		// An empty shard completes its resize in place; no drainer work.
+		return nil
+	}
+	// The nudge is a barrier with no ticket: per-queue FIFO applies it
+	// after anything already queued, and it completes nothing — it only
+	// breaks the drainer out of its blocking pop so the idle-queue
+	// migration path engages. Barriers bypass backpressure (uncounted in
+	// depth), so this send can exceed QueueDepth momentarily but never
+	// deadlocks against a full queue of ordinary requests.
+	e.queues[e.queueOf(h)] <- request{barrier: true}
+	return nil
 }
 
 // applyRun applies one popped run. The run's requests are concatenated

@@ -85,6 +85,7 @@ func All() []Experiment {
 		analyticExp(),
 		latencyExp(),
 		replayThroughputExp(),
+		resizeExp(),
 	}
 }
 

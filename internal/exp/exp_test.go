@@ -16,7 +16,7 @@ func TestRegistry(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig4", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "mix", "hashes", "ablation", "formats",
-		"analytic", "latency", "replay",
+		"analytic", "latency", "replay", "resize",
 	}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -550,5 +550,37 @@ func TestOrgsOverrideFormats(t *testing.T) {
 		if tb.Cell(r, 0) != "cuckoo-4x512" {
 			t.Errorf("row %d org = %q", r, tb.Cell(r, 0))
 		}
+	}
+}
+
+// TestResizeQuick: the online-resize experiment runs all three phases,
+// completes the migration it starts (the footnote records 1/1), and
+// reports live throughput for the non-resizing shards in every phase.
+func TestResizeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput experiment")
+	}
+	ts := runExp(t, "resize")
+	tb := ts[0]
+	if tb.NumRows() != 3 {
+		t.Fatalf("resize rows = %d, want 3 (before/during/after)", tb.NumRows())
+	}
+	for r, phase := range []string{"before", "during", "after"} {
+		if tb.Cell(r, 0) != phase {
+			t.Errorf("row %d phase = %q, want %q", r, tb.Cell(r, 0), phase)
+		}
+		if v := parseFloat(t, tb.Cell(r, 3)); v <= 0 {
+			t.Errorf("%s: non-resizing shards report %v kacc/s", phase, v)
+		}
+	}
+	if v := parseFloat(t, tb.Cell(1, 4)); v <= 0 {
+		t.Error("during phase migrated no entries")
+	}
+	body := tb.String()
+	if !strings.Contains(body, "started/completed: 1/1") {
+		t.Errorf("resize table does not record a completed migration:\n%s", body)
+	}
+	if !strings.Contains(body, "forced evictions during migration: 0") {
+		t.Errorf("resize table records lost entries:\n%s", body)
 	}
 }

@@ -184,6 +184,11 @@ type Result struct {
 	// Capacity the aggregate entry-slot capacity (0 when unbounded).
 	ShardLens []int
 	Capacity  int
+	// Resizes is the online-resize snapshot after the run — non-zero
+	// only when the directory carries a ^grow policy (the engine's
+	// drainers trigger and execute the migrations) or the caller resized
+	// shards explicitly while the run was in flight.
+	Resizes directory.ResizeStats
 }
 
 // Throughput returns replayed accesses per second.
@@ -242,6 +247,10 @@ func (r Result) String() string {
 		"%d accesses in %.2fs (%.0f acc/s, %d workers, batch %d)%s: %.2f avg insertion attempts, %d forced invalidations, occupancy %.1f%%, shard imbalance %.2fx",
 		r.Accesses, r.Elapsed.Seconds(), r.Throughput(), r.Workers, r.BatchSize, mode,
 		r.Stats.Attempts.Mean(), r.Stats.ForcedEvictions, r.Occupancy()*100, r.ShardImbalance())
+	if r.Resizes.Started > 0 {
+		s += fmt.Sprintf("; %d/%d online resizes completed (%d entries migrated)",
+			r.Resizes.Completed, r.Resizes.Started, r.Resizes.MigratedEntries)
+	}
 	if r.Dropped > 0 {
 		s += fmt.Sprintf("; %d records read but DROPPED un-applied (source error)", r.Dropped)
 	}
@@ -353,6 +362,7 @@ func finishResult(dir *directory.ShardedDirectory, res *Result) {
 	res.Stats = dir.Stats()
 	res.ShardLens = dir.ShardLens()
 	res.Capacity = dir.Capacity()
+	res.Resizes = dir.ResizeStats()
 }
 
 // runEngine is the ViaEngine body of Run: the producer is a thin engine

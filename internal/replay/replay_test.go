@@ -261,3 +261,56 @@ func TestRunConcurrent(t *testing.T) {
 		t.Fatalf("applied %d", res.Accesses)
 	}
 }
+
+// TestRunEngineAutoGrow: replay traffic through a directory carrying a
+// ^grow policy makes the engine's drainers resize shards live mid-run;
+// the Result reports the resizes and no entry is lost to migration.
+func TestRunEngineAutoGrow(t *testing.T) {
+	d, err := directory.BuildNamed("sharded-4^grow=0.5(cuckoo-4x64)", testCores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := d.(*directory.ShardedDirectory)
+	baseCap := dir.Capacity()
+	// A footprint that overruns the base capacity (so growth triggers)
+	// but fits the grown directory with cuckoo headroom — the paper's
+	// profiles dwarf this test-sized directory and would measure
+	// overload, not migration.
+	prof := workload.Profile{
+		Name: "tiny", Class: "test", Table2: "test",
+		CodeBlocks: 96, SharedBlocks: 192, PrivateBlocks: 64,
+		CodeFrac: 0.3, SharedFrac: 0.3, WriteFrac: 0.2,
+		ZipfCode: 0.9, ZipfShared: 0.85, ZipfPrivate: 0.75,
+	}
+	res, err := ReplayWorkload(dir, prof, testCores, 7, 60_000, Options{Via: ViaEngine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resizes.Started == 0 {
+		t.Fatalf("no online resize triggered: %+v (capacity %d, entries %d)",
+			res.Resizes, res.Capacity, res.Entries())
+	}
+	if res.Resizes.MigrationForced != 0 {
+		t.Errorf("%d entries lost to forced migration evictions", res.Resizes.MigrationForced)
+	}
+	dir.FinishResizes()
+	if dir.Capacity() <= baseCap {
+		t.Errorf("capacity %d did not grow from %d", dir.Capacity(), baseCap)
+	}
+	if !strings.Contains(res.String(), "online resizes") {
+		t.Errorf("Result.String does not report the resizes: %s", res)
+	}
+	// The lossless-migration invariant, end to end: every tracked block
+	// visits the census exactly once.
+	seen := map[uint64]bool{}
+	dir.ForEach(func(a, _ uint64) bool {
+		if seen[a] {
+			t.Fatalf("addr %#x duplicated across old/new tables", a)
+		}
+		seen[a] = true
+		return true
+	})
+	if len(seen) != res.Entries() {
+		t.Errorf("census %d entries, ShardLens total %d", len(seen), res.Entries())
+	}
+}

@@ -72,8 +72,9 @@ var (
 	// alias) prefix followed by all-numeric dimensions. Bare org words
 	// ("cuckoo") are prose, not names to resolve.
 	orgRE = regexp.MustCompile(`^(cuckoo|sparse|skewed|skew|elbow|dup-tag|dup|tagless|in-cache|ideal)-[0-9]+(x[0-9]+)*$`)
-	// shardedRE matches the sharded wrapper form.
-	shardedRE = regexp.MustCompile(`^sharded-[0-9]+(@[a-z]+)?\(.+\)$`)
+	// shardedRE matches the sharded wrapper form, optionally carrying a
+	// home-function tag and/or a ^grow resize policy.
+	shardedRE = regexp.MustCompile(`^sharded-[0-9]+(@[a-z]+)?(\^grow=[0-9.]+(x[0-9.]+)?)?\(.+\)$`)
 )
 
 // checkDoc validates one markdown document's references.
