@@ -54,6 +54,7 @@ import (
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/engine"
 	"cuckoodir/internal/exp"
+	"cuckoodir/internal/faults"
 	"cuckoodir/internal/replay"
 	"cuckoodir/internal/sharer"
 	"cuckoodir/internal/stats"
@@ -278,6 +279,83 @@ var (
 func NewEngine(dir *ShardedDirectory, o EngineOptions) (*Engine, error) {
 	return engine.New(dir, o)
 }
+
+// ---- fault containment & injection ----
+
+// EngineHealth is an Engine's liveness snapshot (Engine.Health):
+// per-drainer progress and stall flags from the engine's watchdog,
+// quarantined shards, contained-panic count and the most recent
+// automatic-grow failure. See DESIGN.md §12 for the fault model.
+type EngineHealth = engine.Health
+
+// DrainerHealth is one drainer's row in an EngineHealth snapshot.
+type DrainerHealth = engine.DrainerHealth
+
+// DefaultStallThreshold is the watchdog's default no-progress window
+// before a drainer with queued work is flagged stalled
+// (EngineOptions.StallThreshold = 0).
+const DefaultStallThreshold = engine.DefaultStallThreshold
+
+// RetryOptions parameterize Engine.SubmitRetry's capped
+// exponential-backoff retry over ErrEngineQueueFull; the zero value is
+// usable.
+type RetryOptions = engine.RetryOptions
+
+// Engine fault-containment errors.
+var (
+	// ErrEngineShardQuarantined reports a submission touching a shard
+	// the engine quarantined after containing a panic there; the shard
+	// stays out of service until the engine is rebuilt, other shards
+	// keep serving.
+	ErrEngineShardQuarantined = engine.ErrShardQuarantined
+	// ErrEngineDeadlineExceeded reports a submission shed because its
+	// context deadline had already expired before enqueue.
+	ErrEngineDeadlineExceeded = engine.ErrDeadlineExceeded
+	// ErrFaultInjected is the default error carried by injected faults.
+	ErrFaultInjected = faults.ErrInjected
+)
+
+// FaultInjector is the deterministic fault-injection layer an Engine
+// evaluates at its containment boundaries (EngineOptions.Faults):
+// zero-cost when absent, one atomic load per boundary when armed with
+// nothing. See internal/faults for the point and trigger semantics.
+type FaultInjector = faults.Injector
+
+// FaultPoint identifies one injection site in the engine.
+type FaultPoint = faults.Point
+
+// FaultTrigger decides deterministically which hits of a FaultPoint
+// fire (keyed by shard, counter-windowed, optionally seeded
+// probabilistic).
+type FaultTrigger = faults.Trigger
+
+// ArmedFault is the handle of one armed trigger; Release opens its
+// stall gate and retires it.
+type ArmedFault = faults.Armed
+
+// The engine's fault points.
+const (
+	// FaultDrainerDelay sleeps a drainer at the apply boundary.
+	FaultDrainerDelay = faults.DrainerDelay
+	// FaultDrainerStall parks a drainer until Release (or engine Close).
+	FaultDrainerStall = faults.DrainerStall
+	// FaultApplyPanic panics at the apply boundary; the engine contains
+	// it and quarantines the shard.
+	FaultApplyPanic = faults.ApplyPanic
+	// FaultGrowBuildFail fails an automatic-grow attempt.
+	FaultGrowBuildFail = faults.GrowBuildFail
+	// FaultQueueSaturation makes a submission observe a full queue.
+	FaultQueueSaturation = faults.QueueSaturation
+	// FaultMigrationPanic panics inside a background migration step.
+	FaultMigrationPanic = faults.MigrationPanic
+)
+
+// FaultAnyKey matches every hit key in a FaultTrigger.
+const FaultAnyKey = faults.AnyKey
+
+// NewFaultInjector returns an injector armed with nothing; arm points
+// on it and pass it through EngineOptions.Faults.
+func NewFaultInjector() *FaultInjector { return faults.New() }
 
 // ---- cuckoo hash table ----
 

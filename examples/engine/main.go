@@ -102,7 +102,7 @@ func main() {
 				var err error
 				if b%16 == 0 {
 					err = eng.SubmitBatchFunc(ctx, append([]cuckoodir.Access(nil), buf...),
-						func(ops []cuckoodir.Op) { delivered.Add(uint64(len(ops))) })
+						func(ops []cuckoodir.Op, _ error) { delivered.Add(uint64(len(ops))) })
 				} else {
 					err = eng.SubmitDetached(ctx, append([]cuckoodir.Access(nil), buf...))
 				}

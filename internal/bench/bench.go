@@ -246,6 +246,7 @@ func engineReplayCase(shards, producers int) func(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		var growFails uint64
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			d := benchDir(b, shards)
@@ -267,8 +268,15 @@ func engineReplayCase(shards, producers int) func(b *testing.B) {
 			if want := uint64(replayAccesses / producers * producers); res.Accesses != want {
 				b.Fatalf("replayed %d accesses, want %d", res.Accesses, want)
 			}
+			growFails += res.GrowFailures
 		}
 		b.ReportMetric(float64(replayAccesses/producers*producers)*float64(b.N)/b.Elapsed().Seconds(), "acc/s")
+		// A directory that wanted to grow and couldn't was measured
+		// capacity-capped — surface it so the row carries a warning
+		// (RunSuite) instead of reading as a clean throughput number.
+		if growFails > 0 {
+			b.ReportMetric(float64(growFails)/float64(b.N), "grow_failures")
+		}
 	}
 }
 
@@ -399,6 +407,14 @@ func RunSuite(label string, match func(name string) bool, logf func(format strin
 			res.AccPerSec = acc
 		}
 		res.Notes = parallelNote(c.Name, run.MaxProcs, run.NumCPU)
+		if gf, ok := br.Extra["grow_failures"]; ok && gf > 0 {
+			note := fmt.Sprintf("%.1f automatic-grow failures per iteration: throughput was measured against a capacity-capped directory", gf)
+			if res.Notes != "" {
+				res.Notes += "; " + note
+			} else {
+				res.Notes = note
+			}
+		}
 		run.Results[c.Name] = res
 		if logf != nil {
 			if res.AccPerSec > 0 {

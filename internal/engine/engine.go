@@ -78,8 +78,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cuckoodir/internal/directory"
+	"cuckoodir/internal/faults"
 )
 
 // Submission errors.
@@ -88,6 +90,16 @@ var (
 	ErrClosed = errors.New("engine: closed")
 	// ErrQueueFull reports a rejected submission under RejectWhenFull.
 	ErrQueueFull = errors.New("engine: queue full")
+	// ErrShardQuarantined reports a submission touching a shard the
+	// engine quarantined after containing a panic there. The shard's
+	// state (including its lock) is suspect, so the engine refuses to
+	// route more work to it; every other shard keeps serving. See
+	// DESIGN.md §12 for the quarantine lifecycle.
+	ErrShardQuarantined = errors.New("engine: shard quarantined")
+	// ErrDeadlineExceeded reports a submission shed before enqueue
+	// because its context deadline had already expired — queueing work
+	// whose caller has stopped waiting only deepens an overload.
+	ErrDeadlineExceeded = errors.New("engine: deadline exceeded before enqueue")
 )
 
 // Policy selects the backpressure behaviour of a full queue.
@@ -131,6 +143,16 @@ type Options struct {
 	// step examines during a live resize (0 = the directory policy's
 	// run length, or directory.DefaultMigrationRun).
 	MigrationRun int
+	// Faults optionally installs a fault injector (internal/faults).
+	// nil — the default — disables injection entirely: the drain path
+	// pays one nil check per boundary and nothing else.
+	Faults *faults.Injector
+	// StallThreshold is the watchdog's per-drainer no-progress bound: a
+	// drainer with queued work and no heartbeat for longer than this is
+	// reported Stalled by Health() and flips the engine Degraded. 0
+	// defaults to DefaultStallThreshold; negative disables the watchdog
+	// goroutine entirely.
+	StallThreshold time.Duration
 }
 
 // DefaultQueueDepth is the per-drainer queue bound when Options leaves
@@ -149,6 +171,9 @@ func (o Options) withDefaults(shards int) Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.StallThreshold == 0 {
+		o.StallThreshold = DefaultStallThreshold
 	}
 	return o
 }
@@ -171,11 +196,31 @@ type request struct {
 }
 
 // Ticket is a pollable completion handle for one submission.
+//
+// # Terminal states
+//
+// A ticket reaches exactly one of three terminal states (the table test
+// in ticket_test.go pins them):
+//
+//   - completed: every access applied; Done closes, Wait and Err return
+//     nil, Ops holds every result.
+//   - erred: the engine failed part of the submission (a contained
+//     drainer panic, a quarantined shard). Done still closes — waiters
+//     never hang on a fault — but Wait and Err return the failure, and
+//     the Ops entries of the failed span are zero Ops.
+//   - abandoned: the submission failed MID-ENQUEUE (context
+//     cancellation under BlockWhenFull). The caller got an error and no
+//     ticket, so the ticket is internal-only from then on: the enqueued
+//     prefix still applies, the callback is suppressed, and the
+//     internal Done/Wait observe a normal completion.
 type Ticket struct {
 	done    chan struct{}
 	ops     []directory.Op
 	pending atomic.Int32
-	fn      func([]directory.Op)
+	fn      func([]directory.Op, error)
+	// errp is the terminal error (first failure wins); nil on a clean
+	// completion.
+	errp atomic.Pointer[error]
 	// abandoned suppresses the callback when a submission failed
 	// mid-enqueue (context cancellation): the enqueued prefix still
 	// applies, but the caller saw an error, so fn must not fire on a
@@ -183,30 +228,63 @@ type Ticket struct {
 	abandoned atomic.Bool
 }
 
-func newTicket(pending int, ops []directory.Op, fn func([]directory.Op)) *Ticket {
+func newTicket(pending int, ops []directory.Op, fn func([]directory.Op, error)) *Ticket {
 	t := &Ticket{done: make(chan struct{}), ops: ops, fn: fn}
 	t.pending.Store(int32(pending))
 	return t
 }
 
 // Done returns a channel closed when every access of the submission has
-// been applied.
+// been applied (or failed — see Err).
 func (t *Ticket) Done() <-chan struct{} { return t.done }
 
-// Wait blocks until the submission completes or ctx is cancelled.
-// Cancellation abandons the wait only — the enqueued work still runs.
+// Wait blocks until the submission completes or ctx is cancelled. On
+// completion it returns the submission's terminal error (nil, or the
+// engine failure Err reports); on cancellation it returns ctx's error
+// and abandons the wait only — the enqueued work still runs.
 func (t *Ticket) Wait(ctx context.Context) error {
 	select {
 	case <-t.done:
-		return nil
+		return t.terr()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
+// Err reports the submission's terminal error: nil after a clean
+// completion, or the failure (ErrShardQuarantined-wrapping) recorded
+// when the engine contained a fault while applying it. It must only be
+// called after Done is closed; it panics otherwise (same contract as
+// Ops).
+func (t *Ticket) Err() error {
+	select {
+	case <-t.done:
+		return t.terr()
+	default:
+		panic("engine: Ticket.Err before completion")
+	}
+}
+
+// terr loads the terminal error without the completion gate.
+func (t *Ticket) terr() error {
+	if p := t.errp.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// fail records err as the ticket's terminal error; the first failure
+// wins (later shards of the same submission may fail differently).
+//
+//cuckoo:cold
+func (t *Ticket) fail(err error) {
+	t.errp.CompareAndSwap(nil, &err)
+}
+
 // Ops returns the per-access results in submission order. It must only
-// be called after Done is closed (Wait returned nil); the slice is
-// owned by the caller from then on.
+// be called after Done is closed (Wait returned); the slice is owned by
+// the caller from then on. After an erred completion (Err != nil) the
+// entries of the failed span are zero Ops.
 func (t *Ticket) Ops() []directory.Op {
 	select {
 	case <-t.done:
@@ -226,7 +304,7 @@ func (t *Ticket) Op() directory.Op { return t.Ops()[0] }
 func (t *Ticket) complete() {
 	if t.pending.Add(-1) == 0 {
 		if t.fn != nil && !t.abandoned.Load() {
-			t.fn(t.ops)
+			t.fn(t.ops, t.terr())
 		}
 		//cuckoo:ignore ticket completion IS the channel close; Done() waiters unblock on it
 		close(t.done)
@@ -267,8 +345,17 @@ type Stats struct {
 	// GrowFailures counts automatic-growth attempts that failed (a
 	// grown geometry exceeding spec bounds, or a shard with no retained
 	// spec). The trigger condition persists, so one overload can count
-	// many failures.
+	// many failures; Health().LastGrowError keeps the latest cause.
 	GrowFailures uint64
+	// Shed counts submissions refused with ErrDeadlineExceeded before
+	// enqueue (the caller's deadline had already expired).
+	Shed uint64
+	// ContainedPanics counts drainer panics the engine recovered; each
+	// one quarantines the shard it hit.
+	ContainedPanics uint64
+	// ErredAccesses counts accesses whose requests completed with an
+	// error instead of applying (contained panics, quarantined shards).
+	ErredAccesses uint64
 }
 
 // Merge accumulates another snapshot into s — the aggregation path for
@@ -287,6 +374,9 @@ func (s *Stats) Merge(o Stats) {
 	s.ResizesStarted += o.ResizesStarted
 	s.ResizesCompleted += o.ResizesCompleted
 	s.GrowFailures += o.GrowFailures
+	s.Shed += o.Shed
+	s.ContainedPanics += o.ContainedPanics
+	s.ErredAccesses += o.ErredAccesses
 }
 
 // MergeStats merges engine snapshots into one fresh aggregate.
@@ -318,12 +408,44 @@ type Engine struct {
 	// drainers check their shards' load after each run.
 	auto bool
 
-	// The stats counters are polled lock-free while mu's word bounces
-	// between submitters; keep them a full cache line away.
+	// faults is the optional injector (Options.Faults); nil = disabled,
+	// and every evaluation site guards on that nil.
+	faults *faults.Injector
+	// stopc closes at the START of Close — before mu is taken — so
+	// injected stalls break, the watchdog exits, and producers blocked
+	// behind a stalled drainer can drain out of send.
+	stopc    chan struct{}
+	stopOnce sync.Once
+
+	// quar[h] marks shard h quarantined after a contained panic there;
+	// poison[h] keeps the panic-derived error. beats[qi] is drainer
+	// qi's heartbeat: one increment per run popped; the watchdog flags
+	// a drainer stalled when its beat freezes while its queue holds
+	// work. (Slice headers only — the atomic backing arrays live off-
+	// struct, away from the mutexes.)
+	quar   []atomic.Bool
+	poison []atomic.Value
+	beats  []atomic.Uint64
+	// healthMu guards the watchdog's observations (obs).
+	healthMu sync.Mutex
+	obs      []drainerObs
+
+	// The stats counters are polled lock-free while mu's (and
+	// healthMu's) word bounces between owners; keep them a full cache
+	// line away.
 	_ [64]byte
 
 	subAcc, cmpAcc, subReq, cmpReq, rejected, flushes atomic.Uint64
 	migRuns, migrated, rzStarted, rzDone, growFail    atomic.Uint64
+	shed, contained, erredAcc                         atomic.Uint64
+	// quarCount is the fast any-quarantined check the submit path
+	// reads; degraded mirrors "any shard quarantined or any drainer
+	// stalled" (quarantine sets it eagerly, the watchdog recomputes
+	// it); lastGrow keeps the most recent automatic-growth failure for
+	// Health().
+	quarCount atomic.Int64
+	degraded  atomic.Bool
+	lastGrow  atomic.Value
 }
 
 // New builds an engine over dir and starts its drainer goroutines. The
@@ -347,6 +469,12 @@ func New(dir *directory.ShardedDirectory, o Options) (*Engine, error) {
 		opt:    o,
 		queues: make([]chan request, o.Drainers),
 		depth:  make([]atomic.Int64, o.Drainers),
+		faults: o.Faults,
+		stopc:  make(chan struct{}),
+		quar:   make([]atomic.Bool, dir.ShardCount()),
+		poison: make([]atomic.Value, dir.ShardCount()),
+		beats:  make([]atomic.Uint64, o.Drainers),
+		obs:    make([]drainerObs, o.Drainers),
 	}
 	for i := range e.queues {
 		e.queues[i] = make(chan request, o.QueueDepth)
@@ -355,6 +483,10 @@ func New(dir *directory.ShardedDirectory, o Options) (*Engine, error) {
 	e.wg.Add(o.Drainers)
 	for i := range e.queues {
 		go e.drain(i)
+	}
+	if o.StallThreshold > 0 {
+		e.wg.Add(1)
+		go e.watchdog()
 	}
 	return e, nil
 }
@@ -379,6 +511,9 @@ func (e *Engine) Stats() Stats {
 		ResizesStarted:    e.rzStarted.Load(),
 		ResizesCompleted:  e.rzDone.Load(),
 		GrowFailures:      e.growFail.Load(),
+		Shed:              e.shed.Load(),
+		ContainedPanics:   e.contained.Load(),
+		ErredAccesses:     e.erredAcc.Load(),
 	}
 }
 
@@ -418,6 +553,11 @@ func (e *Engine) Submit(ctx context.Context, a directory.Access) (*Ticket, error
 	if err := e.validate([]directory.Access{a}); err != nil {
 		return nil, err
 	}
+	if e.quarCount.Load() > 0 {
+		if err := e.checkQuarantined([]directory.Access{a}); err != nil {
+			return nil, err
+		}
+	}
 	ops := make([]directory.Op, 1)
 	t := newTicket(1, ops, nil)
 	accs := []directory.Access{a}
@@ -440,10 +580,11 @@ func (e *Engine) SubmitBatch(ctx context.Context, accs []directory.Access) (*Tic
 }
 
 // SubmitBatchFunc is SubmitBatch with a completion callback instead of
-// a caller-held ticket: fn receives the batch's Ops (in batch order) on
-// an engine goroutine once every access has applied. Keep fn short — it
-// runs on the drainer that completed the batch.
-func (e *Engine) SubmitBatchFunc(ctx context.Context, accs []directory.Access, fn func(ops []directory.Op)) error {
+// a caller-held ticket: fn receives the batch's Ops (in batch order)
+// and the submission's terminal error (nil, or the failure Ticket.Err
+// would report) on an engine goroutine once every access has applied.
+// Keep fn short — it runs on the drainer that completed the batch.
+func (e *Engine) SubmitBatchFunc(ctx context.Context, accs []directory.Access, fn func(ops []directory.Op, err error)) error {
 	if fn == nil {
 		return errors.New("engine: SubmitBatchFunc with nil callback (use SubmitDetached)")
 	}
@@ -461,12 +602,19 @@ func (e *Engine) SubmitDetached(ctx context.Context, accs []directory.Access) er
 	return err
 }
 
-func (e *Engine) submitBatch(ctx context.Context, accs []directory.Access, record bool, fn func([]directory.Op)) (*Ticket, error) {
+func (e *Engine) submitBatch(ctx context.Context, accs []directory.Access, record bool, fn func([]directory.Op, error)) (*Ticket, error) {
 	if len(accs) == 0 {
 		return nil, errors.New("engine: empty batch")
 	}
 	if err := e.validate(accs); err != nil {
 		return nil, err
+	}
+	if e.quarCount.Load() > 0 {
+		// Fail fast on the submitter's stack instead of queueing work
+		// the drainer can only fail later.
+		if err := e.checkQuarantined(accs); err != nil {
+			return nil, err
+		}
 	}
 
 	// Route the batch: per-drainer sub-batches, in batch order.
@@ -541,10 +689,26 @@ func (e *Engine) send(ctx context.Context, queues []int, reqs []request) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Deadline shedding: a submission whose deadline has already passed
+	// is refused before it can occupy queue space — its caller has
+	// stopped waiting, so queueing it only deepens an overload.
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		e.shed.Add(1)
+		return ErrDeadlineExceeded
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrClosed
+	}
+	if e.faults != nil {
+		// Injected saturation: the submission observes a full queue
+		// regardless of actual depth — the client-visible symptom of an
+		// overloaded drainer, without having to construct one.
+		if ferr := e.faults.Fire(faults.QueueSaturation, queues[0]); ferr != nil {
+			e.rejected.Add(1)
+			return ErrQueueFull
+		}
 	}
 	if e.opt.Policy == RejectWhenFull {
 		if !e.reserve(queues) {
@@ -645,6 +809,12 @@ func (e *Engine) barrier() *Ticket {
 // or fail with ErrClosed. Close is idempotent; concurrent Closes block
 // until the first finishes.
 func (e *Engine) Close() error {
+	// Release the stop channel BEFORE taking mu: injected stalls break
+	// on it and the watchdog exits on it, and a producer blocked in
+	// send behind a stalled drainer holds mu's read side — closing
+	// stopc first is what lets that producer drain out so the write
+	// lock below can ever be acquired.
+	e.stopOnce.Do(func() { close(e.stopc) })
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -732,6 +902,10 @@ func (e *Engine) drainLoop(qi int, q chan request, singleShard bool, buckets [][
 			//cuckoo:ignore the request queue is a channel by design; this is the drainer's blocking pop
 			r = <-q
 		}
+		// Heartbeat: one beat per wake-up, BEFORE the apply — a drainer
+		// stuck (or stalled by injection) inside a run freezes its beat,
+		// which is exactly what the watchdog looks for.
+		e.beats[qi].Add(1)
 		// Pop a run: r plus everything already queued, until a barrier
 		// or stop sentinel (processed after the run) or a bound trips.
 		run = run[:0]
@@ -790,10 +964,16 @@ func (e *Engine) drainLoop(qi int, q chan request, singleShard bool, buckets [][
 func (e *Engine) migrateStep(qi int) bool {
 	stepped := false
 	for h := qi; h < e.dir.ShardCount(); h += e.opt.Drainers {
-		if !e.dir.ShardMigrating(h) {
+		if !e.dir.ShardMigrating(h) || e.quar[h].Load() {
+			// A quarantined shard's migration is parked for good: its
+			// state is suspect, so the drainer neither applies to it nor
+			// migrates it.
 			continue
 		}
-		moved, done := e.dir.MigrateShard(h, e.opt.MigrationRun)
+		moved, done, err := e.migrateShardStep(h)
+		if err != nil {
+			continue
+		}
 		e.migRuns.Add(1)
 		e.migrated.Add(uint64(moved))
 		if done {
@@ -804,21 +984,58 @@ func (e *Engine) migrateStep(qi int) bool {
 	return stepped
 }
 
+// migrateShardStep runs one bounded migration step inside the panic-
+// containment boundary: a panic mid-migration (injected or real)
+// quarantines the shard — the union view it leaves behind is suspect —
+// instead of killing the drainer.
+//
+//cuckoo:recoverboundary
+func (e *Engine) migrateShardStep(h int) (moved int, done bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			moved, done = 0, false
+			err = e.quarantine(h, p)
+		}
+	}()
+	if e.faults != nil {
+		e.faults.Hit(faults.MigrationPanic, h, e.stopc)
+	}
+	moved, done = e.dir.MigrateShard(h, e.opt.MigrationRun)
+	return moved, done, nil
+}
+
 // maybeGrow applies the directory's automatic-growth policy to this
 // drainer's shards after a drained run.
 //
 //cuckoo:cold
 func (e *Engine) maybeGrow(qi int) {
 	for h := qi; h < e.dir.ShardCount(); h += e.opt.Drainers {
+		if e.faults != nil {
+			if ferr := e.faults.Fire(faults.GrowBuildFail, h); ferr != nil {
+				e.growFail.Add(1)
+				e.noteGrowError(h, ferr)
+				continue
+			}
+		}
 		started, err := e.dir.GrowShard(h)
 		if err != nil {
 			e.growFail.Add(1)
+			e.noteGrowError(h, err)
 			continue
 		}
 		if started {
 			e.rzStarted.Add(1)
 		}
 	}
+}
+
+// noteGrowError records the latest automatic-growth failure for
+// Health(): GrowFailures says HOW OFTEN growth failed, this says WHY —
+// a silently-counted failure is an overload that never relieves itself.
+//
+//cuckoo:cold
+func (e *Engine) noteGrowError(h int, err error) {
+	e.lastGrow.Store(fmt.Errorf("shard %d: %w", h, err))
 }
 
 // ResizeShard begins a live resize of shard h — see
@@ -906,8 +1123,11 @@ func (e *Engine) applyRun(qi int, run []request, singleShard bool, buckets [][]i
 			ops = (*concatOps)[:total]
 		}
 	}
+	// runErr, when non-nil, fails every ticket of the run: the engine
+	// contained a fault (panic or quarantined shard) while applying it.
+	var runErr error
 	if singleShard {
-		e.dir.ApplyShardOps(qi, view, ops)
+		runErr = e.applyShard(qi, view, ops)
 	} else {
 		// Partition the concatenation by home shard, preserving order.
 		for b := range buckets {
@@ -926,14 +1146,23 @@ func (e *Engine) applyRun(qi int, run []request, singleShard bool, buckets [][]i
 				*gatherAccs = append(*gatherAccs, view[i])
 			}
 			if ops == nil {
-				e.dir.ApplyShardOps(qi+b*e.opt.Drainers, *gatherAccs, nil)
+				if err := e.applyShard(qi+b*e.opt.Drainers, *gatherAccs, nil); err != nil && runErr == nil {
+					runErr = err
+				}
 				continue
 			}
 			if cap(*gatherOps) < len(idxs) {
 				*gatherOps = make([]directory.Op, len(idxs))
 			}
 			gops := (*gatherOps)[:len(idxs)]
-			e.dir.ApplyShardOps(qi+b*e.opt.Drainers, *gatherAccs, gops)
+			if err := e.applyShard(qi+b*e.opt.Drainers, *gatherAccs, gops); err != nil {
+				// The shard's Ops never materialized; leave the zero Ops
+				// in place and fail the run below.
+				if runErr == nil {
+					runErr = err
+				}
+				continue
+			}
 			for k, i := range idxs {
 				ops[i] = gops[k]
 			}
@@ -953,16 +1182,90 @@ func (e *Engine) applyRun(qi int, run []request, singleShard bool, buckets [][]i
 			copy(r.ops, ops[off:off+n])
 		}
 		off += n
-		e.finish(qi, r)
+		e.finish(qi, r, runErr)
 	}
 }
 
-// finish retires one applied request popped from queue qi.
-func (e *Engine) finish(qi int, r request) {
+// applyShard applies one shard's slice of a run inside the engine's
+// panic-containment boundary: a panic out of the directory (or an
+// injected fault) is recovered here, the shard is quarantined, and the
+// failure is returned so the caller fails the run's tickets — the
+// drainer goroutine, and the process, survive. A shard already
+// quarantined is never touched again (its state, including its lock,
+// is suspect); its requests fail fast with ErrShardQuarantined.
+//
+//cuckoo:recoverboundary
+func (e *Engine) applyShard(h int, accs []directory.Access, ops []directory.Op) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = e.quarantine(h, p)
+		}
+	}()
+	if e.quar[h].Load() {
+		return e.quarantinedErr(h)
+	}
+	if e.faults != nil {
+		e.faults.Hit(faults.DrainerDelay, h, e.stopc)
+		e.faults.Hit(faults.DrainerStall, h, e.stopc)
+		e.faults.Hit(faults.ApplyPanic, h, e.stopc)
+	}
+	e.dir.ApplyShardOps(h, accs, ops)
+	return nil
+}
+
+// quarantine poisons shard h after a contained panic and returns the
+// error its requests fail with. First containment wins the poison
+// record; every later call just reads it.
+//
+//cuckoo:cold
+func (e *Engine) quarantine(h int, p any) error {
+	if e.quar[h].CompareAndSwap(false, true) {
+		e.poison[h].Store(fmt.Errorf("contained panic: %v", p))
+		e.quarCount.Add(1)
+		e.contained.Add(1)
+		e.degraded.Store(true)
+	}
+	return e.quarantinedErr(h)
+}
+
+// quarantinedErr builds the ErrShardQuarantined-wrapping error for
+// shard h, carrying the original panic when it is already recorded.
+//
+//cuckoo:cold
+func (e *Engine) quarantinedErr(h int) error {
+	if v := e.poison[h].Load(); v != nil {
+		return fmt.Errorf("%w: shard %d: %v", ErrShardQuarantined, h, v)
+	}
+	return fmt.Errorf("%w: shard %d", ErrShardQuarantined, h)
+}
+
+// checkQuarantined fails a submission touching any quarantined shard;
+// called only while quarCount is non-zero.
+//
+//cuckoo:cold
+func (e *Engine) checkQuarantined(accs []directory.Access) error {
+	for _, a := range accs {
+		if h := e.dir.ShardOf(a.Addr); e.quar[h].Load() {
+			return e.quarantinedErr(h)
+		}
+	}
+	return nil
+}
+
+// finish retires one applied request popped from queue qi; a non-nil
+// err fails its ticket (the access counters still advance — the
+// request has left the queue either way).
+func (e *Engine) finish(qi int, r request, err error) {
 	e.cmpReq.Add(1)
 	e.cmpAcc.Add(uint64(len(r.accs)))
 	e.depth[qi].Add(-1)
+	if err != nil {
+		e.erredAcc.Add(uint64(len(r.accs)))
+	}
 	if r.t != nil {
+		if err != nil {
+			r.t.fail(err)
+		}
 		r.t.complete()
 	}
 }

@@ -164,7 +164,7 @@ func TestPerShardFIFO(t *testing.T) {
 	for i, addr := range addrs {
 		i := i
 		err := eng.SubmitBatchFunc(ctx, []directory.Access{{Kind: directory.AccessRead, Addr: addr, Cache: i % testCores}},
-			func([]directory.Op) {
+			func([]directory.Op, error) {
 				mu.Lock()
 				order = append(order, i)
 				mu.Unlock()
@@ -198,7 +198,7 @@ func TestSubmitBatchFuncOps(t *testing.T) {
 	accs := randomAccesses(13, 500)
 	want := applySequential(ref, accs)
 	done := make(chan []directory.Op, 1)
-	if err := eng.SubmitBatchFunc(context.Background(), accs, func(ops []directory.Op) { done <- ops }); err != nil {
+	if err := eng.SubmitBatchFunc(context.Background(), accs, func(ops []directory.Op, _ error) { done <- ops }); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.Flush(context.Background()); err != nil {
@@ -531,7 +531,7 @@ func TestConcurrentProducers(t *testing.T) {
 						return
 					}
 				default:
-					if err := eng.SubmitBatchFunc(ctx, accs[base:base+n], func([]directory.Op) {}); err != nil {
+					if err := eng.SubmitBatchFunc(ctx, accs[base:base+n], func([]directory.Op, error) {}); err != nil {
 						t.Error(err)
 						return
 					}

@@ -331,7 +331,7 @@ func TestEngineLifecycleMidMigration(t *testing.T) {
 			var order []int
 			for i := 0; i < 20; i++ {
 				i := i
-				if err := eng.SubmitBatchFunc(ctx, shard0[i*3:i*3+3], func([]directory.Op) {
+				if err := eng.SubmitBatchFunc(ctx, shard0[i*3:i*3+3], func([]directory.Op, error) {
 					mu.Lock()
 					order = append(order, i)
 					mu.Unlock()

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"cuckoodir/internal/directory"
+	"cuckoodir/internal/rng"
+)
+
+// SubmitRetry defaults, applied where RetryOptions leaves a field zero.
+const (
+	DefaultRetryAttempts  = 8
+	DefaultRetryBaseDelay = 50 * time.Microsecond
+	DefaultRetryMaxDelay  = 5 * time.Millisecond
+)
+
+// RetryOptions parameterize SubmitRetry's capped exponential backoff.
+// The zero value uses the defaults above.
+type RetryOptions struct {
+	// Attempts bounds submission attempts, including the first.
+	Attempts int
+	// BaseDelay is the backoff ceiling before the second attempt; it
+	// doubles per retry up to MaxDelay. The actual sleep is jittered:
+	// uniform in (0, ceiling], so colliding producers decorrelate
+	// instead of retrying in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling.
+	MaxDelay time.Duration
+	// Seed seeds the jitter stream (internal/rng) — retries are as
+	// reproducible as everything else in this repository.
+	Seed uint64
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.Attempts <= 0 {
+		o.Attempts = DefaultRetryAttempts
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = DefaultRetryBaseDelay
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = DefaultRetryMaxDelay
+	}
+	if o.MaxDelay < o.BaseDelay {
+		o.MaxDelay = o.BaseDelay
+	}
+	return o
+}
+
+// SubmitRetry is SubmitBatch with capped exponential backoff plus
+// jitter over ErrQueueFull — the polite RejectWhenFull client: a
+// rejected batch enqueues nothing (all-or-nothing), so it can be
+// resubmitted verbatim after backing off. Every other error (including
+// ErrDeadlineExceeded and ErrShardQuarantined — retrying those cannot
+// help) returns immediately; ctx cancels a backoff sleep. The last
+// attempt's ErrQueueFull is returned when the budget is exhausted.
+func (e *Engine) SubmitRetry(ctx context.Context, accs []directory.Access, o RetryOptions) (*Ticket, error) {
+	o = o.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var jitter *rng.Source
+	backoff := o.BaseDelay
+	for attempt := 1; ; attempt++ {
+		t, err := e.SubmitBatch(ctx, accs)
+		if err == nil || !errors.Is(err, ErrQueueFull) || attempt >= o.Attempts {
+			return t, err
+		}
+		if jitter == nil {
+			jitter = rng.New(o.Seed)
+		}
+		sleep := time.Duration(jitter.Uint64()%uint64(backoff)) + 1
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+		if backoff < o.MaxDelay {
+			backoff *= 2
+			if backoff > o.MaxDelay {
+				backoff = o.MaxDelay
+			}
+		}
+	}
+}

@@ -86,6 +86,7 @@ func All() []Experiment {
 		latencyExp(),
 		replayThroughputExp(),
 		resizeExp(),
+		degradeExp(),
 	}
 }
 

@@ -16,7 +16,7 @@ func TestRegistry(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig4", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "mix", "hashes", "ablation", "formats",
-		"analytic", "latency", "replay", "resize",
+		"analytic", "latency", "replay", "resize", "degrade",
 	}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -582,5 +582,43 @@ func TestResizeQuick(t *testing.T) {
 	}
 	if !strings.Contains(body, "forced evictions during migration: 0") {
 		t.Errorf("resize table records lost entries:\n%s", body)
+	}
+}
+
+func TestDegradeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput experiment")
+	}
+	ts := runExp(t, "degrade")
+	tb := ts[0]
+	if tb.NumRows() != 3 {
+		t.Fatalf("degrade rows = %d, want 3 (healthy/stalled/recovered)", tb.NumRows())
+	}
+	for r, phase := range []string{"healthy", "stalled", "recovered"} {
+		if tb.Cell(r, 0) != phase {
+			t.Errorf("row %d phase = %q, want %q", r, tb.Cell(r, 0), phase)
+		}
+		if v := parseFloat(t, tb.Cell(r, 2)); v <= 0 {
+			t.Errorf("%s: non-faulted shards report %v kacc/s", phase, v)
+		}
+	}
+	if v := parseFloat(t, tb.Cell(0, 4)); v != 0 {
+		t.Errorf("healthy phase rejected %v batches, want 0", v)
+	}
+	if v := parseFloat(t, tb.Cell(1, 4)); v <= 0 {
+		t.Error("stalled phase rejected no batches — the stall did not bite")
+	}
+	body := tb.String()
+	if !strings.Contains(body, "degraded=true drainer0.stalled=true") {
+		t.Errorf("degrade table does not record the degraded health transition:\n%s", body)
+	}
+	if !strings.Contains(body, "after release: degraded=false") {
+		t.Errorf("degrade table does not record health recovery:\n%s", body)
+	}
+	if strings.Contains(body, "WARNING") {
+		t.Errorf("degrade table carries a health-tracking warning:\n%s", body)
+	}
+	if !strings.Contains(body, "erred accesses: 0, contained panics: 0") {
+		t.Errorf("degrade run erred or contained a panic — a stall must not corrupt:\n%s", body)
 	}
 }

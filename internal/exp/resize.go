@@ -149,12 +149,17 @@ func resizeExp() Experiment {
 					fmt.Sprintf("%d", es.MigrationRuns-prevEng.MigrationRuns))
 				prevEng = es
 			}
+			health := eng.Health()
 			if err := eng.Close(); err != nil {
 				panic(fmt.Sprintf("exp: resize: %v", err))
 			}
 			rs := dir.ResizeStats()
 			t.AddNote("resizes started/completed: %d/%d; forced evictions during migration: %d (must be 0 — no entry lost)",
 				rs.Started, rs.Completed, rs.MigrationForced)
+			if gf := eng.Stats().GrowFailures; gf > 0 || health.LastGrowError != nil {
+				t.AddNote("WARNING: %d automatic-grow failures (last: %v) — throughput above ran against a capacity-capped directory",
+					gf, health.LastGrowError)
+			}
 			t.AddNote("per-shard rates are computed from the lock-free CountersByShard deltas; absolute acc/s is host-dependent, the before/during/after ratios travel")
 			return []*stats.Table{t}
 		},

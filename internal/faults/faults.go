@@ -1,0 +1,384 @@
+// Package faults is the repository's fault-injection layer: a small,
+// zero-cost-when-disabled set of typed fault points the DirectoryEngine
+// evaluates at its containment boundaries, plus deterministic triggers
+// deciding which evaluations actually fire.
+//
+// The design goal is that the fault story is TESTED, not asserted: the
+// engine contains exactly the faults this package can inject (drainer
+// delay/stall, a panicking directory op, a failing automatic-grow
+// build, queue saturation, a panicking migration step), and the chaos
+// suite in internal/engine proves the containment — tickets err instead
+// of waiters hanging, shards quarantine instead of the process dying,
+// Close leaks nothing.
+//
+// # Zero cost when disabled
+//
+// An engine without an injector holds a nil *Injector and pays ONE nil
+// check per containment boundary — no map lookups, no atomics, no
+// allocations, nothing the cuckoolint escape guard could flag. With an
+// injector installed but a point unarmed, an evaluation is one atomic
+// pointer load.
+//
+// # Determinism
+//
+// Triggers are counter-based (fire the Nth..N+Kth matching hits) so a
+// test or experiment fires a fault at a chosen, reproducible moment.
+// The optional probabilistic mode is seeded through internal/rng — the
+// repo-wide reproducibility rule applies to injected chaos too.
+//
+// # Stalls and release
+//
+// DrainerStall parks the evaluating goroutine on the armed trigger's
+// gate. The gate opens on Armed.Release (test-driven recovery) or on
+// the stop channel the engine passes into Hit — Engine.Close closes it
+// before waiting for drainers, so a stalled drainer never outlives its
+// engine and the goroutine-leak census stays clean.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cuckoodir/internal/rng"
+)
+
+// ErrInjected is the default error carried by injected failures
+// (GrowBuildFail without an explicit Trigger.Err, QueueSaturation).
+var ErrInjected = errors.New("faults: injected fault")
+
+// Point identifies one fault-injection site in the engine.
+type Point uint8
+
+// The engine's fault points.
+const (
+	// DrainerDelay sleeps the drainer for Trigger.Delay at the apply
+	// boundary — a slow shard, not a dead one.
+	DrainerDelay Point = iota
+	// DrainerStall parks the drainer at the apply boundary until the
+	// armed trigger is Released (or the engine begins closing).
+	DrainerStall
+	// ApplyPanic panics at the drainer's apply boundary, modeling a
+	// panicking directory operation; the engine must recover it, fail
+	// the run's tickets and quarantine the shard.
+	ApplyPanic
+	// GrowBuildFail fails an automatic `^grow` resize attempt with
+	// Trigger.Err (default ErrInjected) before the directory is asked.
+	GrowBuildFail
+	// QueueSaturation makes a submission observe a full queue
+	// (ErrQueueFull) regardless of actual depth.
+	QueueSaturation
+	// MigrationPanic panics inside a background migration step; the
+	// engine must recover it and quarantine the migrating shard.
+	MigrationPanic
+
+	numPoints
+)
+
+// String names the point.
+func (p Point) String() string {
+	switch p {
+	case DrainerDelay:
+		return "drainer-delay"
+	case DrainerStall:
+		return "drainer-stall"
+	case ApplyPanic:
+		return "apply-panic"
+	case GrowBuildFail:
+		return "grow-build-fail"
+	case QueueSaturation:
+		return "queue-saturation"
+	case MigrationPanic:
+		return "migration-panic"
+	default:
+		return fmt.Sprintf("Point(%d)", uint8(p))
+	}
+}
+
+// AnyKey matches every hit key in a Trigger.
+const AnyKey = -1
+
+// Trigger decides, deterministically, which hits of a fault point fire.
+// The zero value fires on every hit of key 0 — set Key to AnyKey to
+// match all keys (the engine passes the shard index as the key, or the
+// queue index for QueueSaturation).
+type Trigger struct {
+	// Key restricts the trigger to hits carrying this key; AnyKey (-1)
+	// matches every hit.
+	Key int
+	// After skips the first After matching hits before the trigger may
+	// fire.
+	After uint64
+	// Count bounds how many times the trigger fires (0 = unlimited).
+	Count uint64
+	// Prob, when in (0,1), fires each eligible hit with this
+	// probability, drawn from a Seed-ed internal/rng stream (so a
+	// probabilistic chaos run is still reproducible). 0 or >=1 fires
+	// every eligible hit.
+	Prob float64
+	// Seed seeds the Prob stream.
+	Seed uint64
+	// Delay is slept per fired DrainerDelay hit.
+	Delay time.Duration
+	// Err is reported by fired GrowBuildFail hits (nil = ErrInjected).
+	Err error
+}
+
+// InjectedPanic is the value injected panics carry, so containment
+// tests can tell an injected panic from a genuine one.
+type InjectedPanic struct {
+	Point Point
+	Key   int
+}
+
+// Error makes the panic value read well in wrapped ticket errors.
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("faults: injected %s (key %d)", p.Point, p.Key)
+}
+
+// Armed is the handle to one armed trigger.
+type Armed struct {
+	point Point
+	trig  Trigger
+	// gate is the stall park; release closes it exactly once, after
+	// which the trigger no longer stalls (or fires) at all.
+	gate     chan struct{}
+	released sync.Once
+
+	// rmu guards the probabilistic stream (hits race on it).
+	rmu sync.Mutex
+	rnd *rng.Source
+
+	// The hit counters are read lock-free while rmu bounces between
+	// probabilistic hits; keep them a cache line away (the repo-wide
+	// atomicpad layout contract).
+	_     [64]byte
+	seen  atomic.Uint64
+	shots atomic.Uint64
+}
+
+// Release opens the armed trigger's stall gate and retires the trigger:
+// parked drainers resume and later hits no longer fire. Safe to call
+// more than once, and a no-op for non-stall points beyond retiring the
+// trigger.
+func (a *Armed) Release() {
+	a.released.Do(func() { close(a.gate) })
+}
+
+// Fired reports how many hits this trigger has fired.
+func (a *Armed) Fired() uint64 { return a.shots.Load() }
+
+// retired reports whether the gate has been released.
+func (a *Armed) retired() bool {
+	select {
+	case <-a.gate:
+		return true
+	default:
+		return false
+	}
+}
+
+// take decides whether this hit fires, advancing the trigger's
+// counters. It is the single deterministic decision point.
+func (a *Armed) take(key int) bool {
+	if a.trig.Key != AnyKey && a.trig.Key != key {
+		return false
+	}
+	if a.retired() {
+		return false
+	}
+	n := a.seen.Add(1)
+	if n <= a.trig.After {
+		return false
+	}
+	if a.trig.Prob > 0 && a.trig.Prob < 1 {
+		a.rmu.Lock()
+		roll := a.rnd.Uint64()
+		a.rmu.Unlock()
+		if float64(roll>>11)/(1<<53) >= a.trig.Prob {
+			return false
+		}
+	}
+	if a.trig.Count > 0 {
+		if a.shots.Add(1) > a.trig.Count {
+			a.shots.Add(^uint64(0))
+			return false
+		}
+		return true
+	}
+	a.shots.Add(1)
+	return true
+}
+
+// Injector holds the armed triggers of every fault point. The zero
+// value is NOT usable; construct with New. A nil *Injector is the
+// disabled state — the engine guards every evaluation with a nil check.
+type Injector struct {
+	// mu serializes Arm/Disarm (writers); the hit path never takes it.
+	mu sync.Mutex
+
+	// points[p] is a copy-on-write snapshot of p's armed triggers; the
+	// hit path loads it with one atomic and never locks. Padded away
+	// from mu per the repo-wide atomicpad layout contract.
+	_      [64]byte
+	points [numPoints]atomic.Pointer[[]*Armed]
+	hits   [numPoints]atomic.Uint64
+	fired  [numPoints]atomic.Uint64
+}
+
+// New returns an empty (armed-with-nothing) injector.
+func New() *Injector { return &Injector{} }
+
+// Arm installs a trigger at a fault point and returns its handle. Arm
+// may be called while the engine is live — the degrade experiment arms
+// a stall mid-run.
+func (in *Injector) Arm(p Point, t Trigger) *Armed {
+	if p >= numPoints {
+		panic(fmt.Sprintf("faults: Arm of unknown point %d", p))
+	}
+	a := &Armed{point: p, trig: t, gate: make(chan struct{})}
+	if t.Prob > 0 && t.Prob < 1 {
+		a.rnd = rng.New(t.Seed)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var next []*Armed
+	if cur := in.points[p].Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, a)
+	in.points[p].Store(&next)
+	return a
+}
+
+// Disarm removes every trigger at a point, releasing any stalled
+// goroutines parked on them.
+func (in *Injector) Disarm(p Point) {
+	in.mu.Lock()
+	cur := in.points[p].Swap(nil)
+	in.mu.Unlock()
+	if cur == nil {
+		return
+	}
+	for _, a := range *cur {
+		a.Release()
+	}
+}
+
+// armed returns the current snapshot for p (nil when nothing is armed).
+func (in *Injector) armed(p Point) []*Armed {
+	if cur := in.points[p].Load(); cur != nil {
+		return *cur
+	}
+	return nil
+}
+
+// Hits reports how many times point p has been evaluated; Fired how
+// many of those evaluations fired a trigger.
+func (in *Injector) Hits(p Point) uint64  { return in.hits[p].Load() }
+func (in *Injector) Fired(p Point) uint64 { return in.fired[p].Load() }
+
+// Fire evaluates a non-blocking fault point (GrowBuildFail,
+// QueueSaturation) and reports the injected error, or nil when the hit
+// does not fire.
+//
+//cuckoo:cold
+func (in *Injector) Fire(p Point, key int) error {
+	in.hits[p].Add(1)
+	for _, a := range in.armed(p) {
+		if a.take(key) {
+			in.fired[p].Add(1)
+			if a.trig.Err != nil {
+				return a.trig.Err
+			}
+			return ErrInjected
+		}
+	}
+	return nil
+}
+
+// Hit evaluates a drainer-side fault point: DrainerDelay sleeps,
+// DrainerStall parks until Release or stop, ApplyPanic and
+// MigrationPanic panic with an InjectedPanic. stop is the engine's
+// shutdown channel; a stalled hit resumes when it closes so Close never
+// waits on an injected stall.
+//
+//cuckoo:cold
+func (in *Injector) Hit(p Point, key int, stop <-chan struct{}) {
+	in.hits[p].Add(1)
+	for _, a := range in.armed(p) {
+		if !a.take(key) {
+			continue
+		}
+		in.fired[p].Add(1)
+		switch p {
+		case DrainerDelay:
+			d := a.trig.Delay
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-stop:
+				timer.Stop()
+			}
+		case DrainerStall:
+			select {
+			case <-a.gate:
+			case <-stop:
+			}
+		case ApplyPanic, MigrationPanic:
+			panic(InjectedPanic{Point: p, Key: key})
+		}
+	}
+}
+
+// registry is the test-only, name-keyed process-global injector table:
+// a test (or the CLI) registers an injector under a name and a
+// component deep in the stack looks it up without plumbing the pointer
+// through every layer.
+var registry struct {
+	mu sync.Mutex
+	m  map[string]*Injector
+}
+
+// Register publishes in under name; registering an existing name
+// replaces it. Intended for tests and experiments only — production
+// wiring passes the injector through EngineOptions.Faults.
+func Register(name string, in *Injector) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.m == nil {
+		registry.m = make(map[string]*Injector)
+	}
+	registry.m[name] = in
+}
+
+// Lookup returns the injector registered under name.
+func Lookup(name string) (*Injector, bool) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	in, ok := registry.m[name]
+	return in, ok
+}
+
+// Unregister removes name from the registry.
+func Unregister(name string) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	delete(registry.m, name)
+}
+
+// Names lists the registered injector names (unordered).
+func Names() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		out = append(out, n)
+	}
+	return out
+}

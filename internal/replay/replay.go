@@ -189,6 +189,17 @@ type Result struct {
 	// drainers trigger and execute the migrations) or the caller resized
 	// shards explicitly while the run was in flight.
 	Resizes directory.ResizeStats
+	// Engine-path fault-containment fields (always zero on the direct
+	// path): Shed counts submissions refused because their deadline had
+	// already expired, Erred counts accesses whose run completed with a
+	// contained-fault error instead of applying, and GrowFailures counts
+	// automatic-grow attempts the directory rejected — GrowError carries
+	// the most recent cause so a silent capacity plateau is explainable
+	// from the run report alone.
+	Shed         uint64
+	Erred        uint64
+	GrowFailures uint64
+	GrowError    string
 }
 
 // Throughput returns replayed accesses per second.
@@ -250,6 +261,12 @@ func (r Result) String() string {
 	if r.Resizes.Started > 0 {
 		s += fmt.Sprintf("; %d/%d online resizes completed (%d entries migrated)",
 			r.Resizes.Completed, r.Resizes.Started, r.Resizes.MigratedEntries)
+	}
+	if r.GrowFailures > 0 {
+		s += fmt.Sprintf("; %d grow FAILURES (last: %s)", r.GrowFailures, r.GrowError)
+	}
+	if r.Shed > 0 || r.Erred > 0 {
+		s += fmt.Sprintf("; %d submissions shed, %d accesses erred", r.Shed, r.Erred)
 	}
 	if r.Dropped > 0 {
 		s += fmt.Sprintf("; %d records read but DROPPED un-applied (source error)", r.Dropped)
@@ -388,8 +405,22 @@ func runEngine(dir *directory.ShardedDirectory, src Source, o Options) (Result, 
 		err = cerr
 	}
 	res.Elapsed = time.Since(start)
+	captureEngineHealth(eng, &res)
 	finishResult(dir, &res)
 	return res, err
+}
+
+// captureEngineHealth copies the engine's fault-containment tallies
+// into the Result after the engine has drained (Close has returned, so
+// the counters are final).
+func captureEngineHealth(eng *engine.Engine, res *Result) {
+	st := eng.Stats()
+	res.Shed = st.Shed
+	res.Erred = st.ErredAccesses
+	res.GrowFailures = st.GrowFailures
+	if h := eng.Health(); h.LastGrowError != nil {
+		res.GrowError = h.LastGrowError.Error()
+	}
 }
 
 // recordAccess converts one trace record to the directory access both
@@ -498,6 +529,7 @@ func RunMulti(dir *directory.ShardedDirectory, srcs []Source, o Options) (Result
 		}
 	}
 	res.Elapsed = time.Since(start)
+	captureEngineHealth(eng, &res)
 	finishResult(dir, &res)
 	return res, err
 }

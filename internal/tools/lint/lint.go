@@ -21,6 +21,11 @@
 //     //cuckoo:stats merge=NAME must be consumed — read from the source
 //     and written into the destination — by the named merge function,
 //     so adding a stat without merging it fails the build.
+//   - recoverboundary: recover() is only legal inside a function
+//     annotated //cuckoo:recoverboundary — the engine's declared panic-
+//     containment boundaries — and every annotated boundary must
+//     actually recover, so containment can neither spread silently nor
+//     rot.
 //
 // A fourth guard, the escape-analysis allocation check, lives in the
 // sibling package allocfree: it parses `go build -gcflags=-m` output
@@ -55,7 +60,7 @@ type Analyzer struct {
 
 // Analyzers returns the full cuckoolint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotpathAnalyzer, AtomicpadAnalyzer, StatsmergeAnalyzer}
+	return []*Analyzer{HotpathAnalyzer, AtomicpadAnalyzer, StatsmergeAnalyzer, RecoverboundaryAnalyzer}
 }
 
 // A Diagnostic is one reported violation.
@@ -113,6 +118,10 @@ const (
 	// out-of-line failure helper (panic formatting, error construction)
 	// that hot code may call without inheriting the hot-path checks.
 	AnnotCold
+	// AnnotRecoverBoundary marks a //cuckoo:recoverboundary function: a
+	// declared panic-containment boundary (it defers a recover), exempt
+	// from the hot-path callee descent the way cold helpers are.
+	AnnotRecoverBoundary
 )
 
 // Directive verbs.
@@ -121,6 +130,7 @@ const (
 	verbCold    = "cold"
 	verbIgnore  = "ignore"
 	verbStats   = "stats"
+	verbRecover = "recoverboundary"
 )
 
 // Index is the load-wide annotation table: which functions are
@@ -213,7 +223,7 @@ func (ix *Index) AddPackage(pkg *Package) {
 						ix.ignores[filename] = map[int]bool{}
 					}
 					ix.ignores[filename][line] = true
-				case verbHotpath, verbCold, verbStats:
+				case verbHotpath, verbCold, verbStats, verbRecover:
 					// Attached to a declaration; handled below. Flag
 					// stray ones that precede nothing recognizable when
 					// walking declarations is hard, so accept them here.
@@ -221,7 +231,7 @@ func (ix *Index) AddPackage(pkg *Package) {
 					ix.diags = append(ix.diags, Diagnostic{
 						Pos:      pkg.Fset.Position(c.Pos()),
 						Analyzer: "directives",
-						Message:  fmt.Sprintf("unknown directive //cuckoo:%s (want hotpath, cold, ignore or stats)", verb),
+						Message:  fmt.Sprintf("unknown directive //cuckoo:%s (want hotpath, cold, recoverboundary, ignore or stats)", verb),
 					})
 				}
 			}
@@ -267,6 +277,8 @@ func (ix *Index) indexFunc(pkg *Package, d *ast.FuncDecl) {
 		ix.funcs[obj] = AnnotHotpath
 	case verbCold:
 		ix.funcs[obj] = AnnotCold
+	case verbRecover:
+		ix.funcs[obj] = AnnotRecoverBoundary
 	case verbStats:
 		ix.diags = append(ix.diags, Diagnostic{
 			Pos:      pkg.Fset.Position(d.Pos()),
@@ -299,7 +311,7 @@ func (ix *Index) indexType(pkg *Package, ts *ast.TypeSpec, groups ...*ast.Commen
 				ix.merges[obj] = name
 			}
 			return
-		case verbHotpath, verbCold:
+		case verbHotpath, verbCold, verbRecover:
 			ix.diags = append(ix.diags, Diagnostic{
 				Pos:      pkg.Fset.Position(ts.Pos()),
 				Analyzer: "directives",

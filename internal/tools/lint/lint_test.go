@@ -22,6 +22,9 @@ func fixture(t *testing.T, a *Analyzer, dir string) {
 func TestHotpathFixture(t *testing.T)    { fixture(t, HotpathAnalyzer, "hotpath") }
 func TestAtomicpadFixture(t *testing.T)  { fixture(t, AtomicpadAnalyzer, "atomicpad") }
 func TestStatsmergeFixture(t *testing.T) { fixture(t, StatsmergeAnalyzer, "statsmerge") }
+func TestRecoverboundaryFixture(t *testing.T) {
+	fixture(t, RecoverboundaryAnalyzer, "recoverboundary")
+}
 
 // TestDirectivesDiagnostics asserts the indexer's own diagnostics on
 // malformed //cuckoo: comments. Their positions are the comment lines
@@ -41,6 +44,7 @@ func TestDirectivesDiagnostics(t *testing.T) {
 		"//cuckoo:ignore needs a reason",
 		"//cuckoo:stats on noMergeName needs merge=NAME",
 		"//cuckoo:hotpath on type hotOnType (it annotates functions)",
+		"//cuckoo:recoverboundary on type boundaryOnType (it annotates functions)",
 		"//cuckoo:stats on function statsOnFunc (it annotates struct types)",
 	}
 	for _, want := range expect {

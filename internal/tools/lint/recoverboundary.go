@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RecoverboundaryAnalyzer enforces the panic-containment contract the
+// engine's fault story rests on (DESIGN.md §12): recovery from a panic
+// is a deliberate, named architectural decision, not something any
+// function may quietly do.
+var RecoverboundaryAnalyzer = &Analyzer{
+	Name: "recoverboundary",
+	Doc: `check that recover() appears only in declared containment boundaries
+
+recover() is only legal inside a function annotated
+//cuckoo:recoverboundary (counting deferred function literals — the
+idiomatic recover site — toward their enclosing declaration), and every
+annotated boundary must actually call recover, so a stale annotation
+cannot keep advertising containment that no longer exists. Test files
+are exempt: asserting a panic contract requires recover. Deliberate
+exceptions carry //cuckoo:ignore <reason>.`,
+	Run: runRecoverboundary,
+}
+
+func runRecoverboundary(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		filename := pass.Pkg.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Pkg.Info.Defs[fd.Name]
+			annotated := obj != nil && pass.Index.FuncAnnot(obj) == AnnotRecoverBoundary
+			recovers := recoverCalls(pass, fd.Body)
+			switch {
+			case annotated && len(recovers) == 0:
+				pass.Reportf(fd.Pos(),
+					"//cuckoo:recoverboundary function %s never calls recover (stale annotation)",
+					fd.Name.Name)
+			case !annotated:
+				for _, p := range recovers {
+					pass.Reportf(p,
+						"recover in %s, which is not annotated //cuckoo:recoverboundary: containment boundaries must be declared",
+						fd.Name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recoverCalls collects the positions of every call to the recover
+// builtin in body, including inside nested function literals (the
+// deferred closure is the idiomatic recover site).
+func recoverCalls(pass *Pass, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "recover" {
+			return true
+		}
+		// A local function named recover shadows the builtin.
+		if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}

@@ -18,9 +18,14 @@ type noMergeName struct{ A int }
 //cuckoo:hotpath
 type hotOnType struct{ B int }
 
+//cuckoo:recoverboundary
+type boundaryOnType struct{ C int }
+
 //cuckoo:stats merge=Nope
 func statsOnFunc() {}
 
 var _ = hotOnType{}
+
+var _ = boundaryOnType{}
 
 var _ = statsOnFunc

@@ -1,0 +1,67 @@
+// Package recoverboundary is the recoverboundary analyzer's fixture:
+// recover() is only legal inside functions annotated
+// //cuckoo:recoverboundary, and every annotated boundary must recover.
+package recoverboundary
+
+// contain is a declared containment boundary with the idiomatic
+// deferred-closure recover: the accept path.
+//
+//cuckoo:recoverboundary
+func contain() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = asErr(p)
+		}
+	}()
+	mayPanic()
+	return nil
+}
+
+// containDirect recovers without a closure (legal inside a boundary,
+// even if only useful when deferred).
+//
+//cuckoo:recoverboundary
+func containDirect() {
+	if p := recover(); p != nil {
+		_ = p
+	}
+}
+
+// doRecover recovers on behalf of some caller but is itself
+// unannotated: the annotation does not travel through calls, so a
+// deferred helper cannot be a hidden boundary.
+func doRecover() {
+	if p := recover(); p != nil { // want `recover in doRecover, which is not annotated //cuckoo:recoverboundary`
+		_ = p
+	}
+}
+
+// sneaky hides a recover inside a nested literal of an unannotated
+// function: still flagged.
+func sneaky() {
+	defer func() {
+		_ = recover() // want `recover in sneaky, which is not annotated //cuckoo:recoverboundary`
+	}()
+	mayPanic()
+}
+
+//cuckoo:recoverboundary
+func stale() { // want `//cuckoo:recoverboundary function stale never calls recover`
+	mayPanic()
+}
+
+// suppressed is a deliberate, documented exception.
+func suppressed() {
+	//cuckoo:ignore fixture: deliberate undeclared recover, suppression must hold
+	_ = recover()
+}
+
+// shadowed calls a LOCAL recover, not the builtin: no diagnostic.
+func shadowed() {
+	recover := func() any { return nil }
+	_ = recover()
+}
+
+func mayPanic() {}
+
+func asErr(any) error { return nil }
