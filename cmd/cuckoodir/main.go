@@ -36,6 +36,7 @@ import (
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/engine"
 	"cuckoodir/internal/exp"
+	"cuckoodir/internal/qos"
 	"cuckoodir/internal/replay"
 	"cuckoodir/internal/trace"
 	"cuckoodir/internal/workload"
@@ -302,11 +303,13 @@ func traceCmd(args []string) error {
 	engineFlag := fs.Bool("engine", false, "submit through the asynchronous DirectoryEngine instead of the direct ApplyShard pipeline (selects the parallel path)")
 	queue := fs.Int("queue", 0, fmt.Sprintf("engine queue depth per drainer, in requests (with -engine; 0 = %d)", engine.DefaultQueueDepth))
 	drainers := fs.Int("drainers", 0, "engine drainer goroutines (with -engine; 0 = one per shard)")
+	background := fs.Float64("background", 0, "fraction (0..1) of batches submitted as the Background QoS class (with -engine)")
+	sched := fs.String("sched", "", "engine drain policy between QoS classes: strict or wdrr (with -engine; default strict)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
-	if (*queue != 0 || *drainers != 0) && !*engineFlag {
-		return fmt.Errorf("trace: -queue/-drainers need -engine")
+	if (*queue != 0 || *drainers != 0 || *background != 0 || *sched != "") && !*engineFlag {
+		return fmt.Errorf("trace: -queue/-drainers/-background/-sched need -engine")
 	}
 	if *file == "" {
 		return fmt.Errorf("trace: -file is required")
@@ -355,7 +358,7 @@ func traceCmd(args []string) error {
 		}
 		if *workers > 0 || *shards > 0 || *batch > 0 || *homeFlag != "" || *engineFlag || spec.Shard.Count > 0 {
 			return replayParallel(rd, spec, *workers, *shards, *batch, *homeFlag,
-				*engineFlag, *queue, *drainers)
+				*engineFlag, *queue, *drainers, *background, *sched)
 		}
 		prof, err := workload.ByName(*wl)
 		if err != nil {
@@ -383,10 +386,12 @@ func traceCmd(args []string) error {
 // internal/replay instead of the sequential functional simulator. It is
 // selected by any of -workers, -shards, -home, -engine, or a sharded
 // -dir name. With -engine the records are submitted asynchronously
-// through a DirectoryEngine (-queue/-drainers size it) instead of the
-// direct ApplyShard worker pool.
+// through a DirectoryEngine (-queue/-drainers size it); -background
+// submits that fraction of batches as the Background QoS class and
+// -sched picks the drain policy arbitrating between the classes, with
+// the per-class latency/reject report appended to the run line.
 func replayParallel(rd *trace.Reader, spec directory.Spec, workers, shards, batch int, homeName string,
-	useEngine bool, queueDepth, drainers int) error {
+	useEngine bool, queueDepth, drainers int, background float64, sched string) error {
 	// Resolve the effective worker count first: the pipeline defaults
 	// -workers 0 to GOMAXPROCS, and the shard default must match what
 	// will actually run (a `-home` comparison on a 1-shard directory
@@ -423,6 +428,14 @@ func replayParallel(rd *trace.Reader, spec directory.Spec, workers, shards, batc
 	if useEngine {
 		opts.Via = replay.ViaEngine
 		opts.Engine = engine.Options{QueueDepth: queueDepth, Drainers: drainers}
+		opts.Background = background
+		if sched != "" {
+			policy, err := qos.ParsePolicy(sched)
+			if err != nil {
+				return fmt.Errorf("trace: -sched: %w", err)
+			}
+			opts.Engine.Sched = qos.Sched{Policy: policy}
+		}
 	}
 	res, err := replay.ReplayTrace(sd, rd, opts)
 	if err != nil {
@@ -459,13 +472,17 @@ func usage() {
   cuckoodir trace record -file F [-workload W] [-n N] [-seed S]
   cuckoodir trace replay -file F [-config shared|private] [-workload W] [-dir ORG]
   cuckoodir trace replay -file F -dir ORG [-workers N] [-shards N] [-batch N] [-home mix|interleave]
-                         [-engine [-queue N] [-drainers N]]
+                         [-engine [-queue N] [-drainers N] [-background F] [-sched strict|wdrr]]
                                   parallel batched replay through a sharded
                                   directory (selected by -workers/-shards/-batch/-home/-engine
                                   or a sharded -dir name like "sharded-8(cuckoo-4x1024)");
                                   -engine submits through the asynchronous
                                   DirectoryEngine instead of the direct
-                                  ApplyShard worker pool; a -dir with a
+                                  ApplyShard worker pool; -background F submits
+                                  that fraction of batches as the Background QoS
+                                  class and -sched picks the class drain policy,
+                                  with per-class p50/p99/p999 and rejects
+                                  appended to the result line; a -dir with a
                                   "^grow=LOAD[xFACTOR]" policy (e.g.
                                   "sharded-8^grow=0.85(cuckoo-4x1024)") resizes
                                   overloaded shards online during the replay and

@@ -55,6 +55,7 @@ import (
 	"cuckoodir/internal/engine"
 	"cuckoodir/internal/exp"
 	"cuckoodir/internal/faults"
+	"cuckoodir/internal/qos"
 	"cuckoodir/internal/replay"
 	"cuckoodir/internal/sharer"
 	"cuckoodir/internal/stats"
@@ -279,6 +280,68 @@ var (
 func NewEngine(dir *ShardedDirectory, o EngineOptions) (*Engine, error) {
 	return engine.New(dir, o)
 }
+
+// ---- QoS classes & scheduling ----
+
+// QoSClass is a submission's priority class. Every class-less engine
+// API (Submit, SubmitBatch, ...) submits as ClassForeground; the
+// class-taking variants (Engine.SubmitClass, SubmitBatchClass,
+// SubmitDetachedClass, SubmitRetryClass) pick explicitly. Per-class
+// queue depths, drain shares, shed counts and latency percentiles are
+// reported through EngineStats.Classes and EngineHealth.Classes. See
+// DESIGN.md §13.
+type QoSClass = qos.Class
+
+// The engine's priority classes.
+const (
+	// ClassForeground is the latency-critical class and the default for
+	// every class-less submission path.
+	ClassForeground = qos.Foreground
+	// ClassBackground is the bulk class: drained with lower priority,
+	// shed first under saturation.
+	ClassBackground = qos.Background
+	// NumQoSClasses is the number of priority classes.
+	NumQoSClasses = qos.NumClasses
+)
+
+// QoSPolicy selects how a drainer arbitrates between its per-class
+// queues (EngineOptions.Sched.Policy).
+type QoSPolicy = qos.Policy
+
+// Drain-scheduling policies.
+const (
+	// StrictPriority (the default) always drains foreground work first;
+	// background can starve under sustained foreground load.
+	StrictPriority = qos.StrictPriority
+	// WeightedDeficit is deficit-weighted round-robin: background keeps
+	// a configurable trickle (default 8:1) even under foreground load.
+	WeightedDeficit = qos.WeightedDeficit
+)
+
+// QoSSched parameterizes the engine's class-aware drain
+// (EngineOptions.Sched); the zero value is strict priority.
+type QoSSched = qos.Sched
+
+// ParseQoSPolicy parses a drain-policy name ("strict", "wdrr").
+func ParseQoSPolicy(s string) (QoSPolicy, error) { return qos.ParsePolicy(s) }
+
+// EngineQueueFullError is the error type behind ErrEngineQueueFull
+// rejections; it carries the shard and the QoS class that was shed
+// (errors.As-able, errors.Is(err, ErrEngineQueueFull) stays true).
+type EngineQueueFullError = engine.QueueFullError
+
+// QoSClassStats is one class's row in EngineStats.Classes: submission,
+// completion, rejection and shed counters plus the merged latency
+// histogram.
+type QoSClassStats = qos.ClassStats
+
+// QoSLatency is a mergeable power-of-two-bucketed latency histogram
+// (QoSClassStats.Latency) with P50/P99/P999 percentile readout.
+type QoSLatency = qos.Latency
+
+// EngineClassLatency is one class's latency row in an EngineHealth
+// snapshot (samples and p50/p99/p999).
+type EngineClassLatency = engine.ClassLatency
 
 // ---- fault containment & injection ----
 

@@ -82,6 +82,7 @@ import (
 
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/faults"
+	"cuckoodir/internal/qos"
 )
 
 // Submission errors.
@@ -101,6 +102,37 @@ var (
 	// whose caller has stopped waiting only deepens an overload.
 	ErrDeadlineExceeded = errors.New("engine: deadline exceeded before enqueue")
 )
+
+// QueueFullError is the concrete error a rejected submission carries
+// under RejectWhenFull: it names the QoS class whose ring was full, so
+// an overloaded client can tell "my background bulk load is being shed"
+// (working as designed) from "my foreground traffic is being rejected"
+// (a capacity incident). errors.Is(err, ErrQueueFull) matches it;
+// errors.As extracts the class.
+type QueueFullError struct {
+	// Class is the rejected submission's priority class.
+	Class qos.Class
+}
+
+// Error renders the rejection with its class.
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("engine: %s queue full", e.Class)
+}
+
+// Is matches ErrQueueFull, keeping every existing errors.Is caller
+// (SubmitRetry's backoff loop included) working unchanged.
+func (e *QueueFullError) Is(target error) bool { return target == ErrQueueFull }
+
+// queueFullErrs pre-builds one rejection error per class: the reject
+// path runs under saturation, which is exactly when it must not
+// allocate per refusal.
+var queueFullErrs = func() [qos.NumClasses]error {
+	var errs [qos.NumClasses]error
+	for c := range errs {
+		errs[c] = &QueueFullError{Class: qos.Class(c)}
+	}
+	return errs
+}()
 
 // Policy selects the backpressure behaviour of a full queue.
 type Policy uint8
@@ -138,7 +170,14 @@ type Options struct {
 	// submission counts one request per touched drainer). Default 256.
 	QueueDepth int
 	// Policy selects blocking or rejecting backpressure on a full queue.
+	// Backpressure is per class: each class has its own bounded ring per
+	// drainer, so a saturated Background ring rejects (or blocks) only
+	// Background submissions while Foreground traffic keeps flowing.
 	Policy Policy
+	// Sched selects how drainers arbitrate between their per-class
+	// rings: strict priority (the zero value) or weighted-deficit
+	// round-robin with per-class weights. See qos.Sched.
+	Sched qos.Sched
 	// MigrationRun bounds the pending addresses one background migration
 	// step examines during a live resize (0 = the directory policy's
 	// run length, or directory.DefaultMigrationRun).
@@ -175,6 +214,7 @@ func (o Options) withDefaults(shards int) Options {
 	if o.StallThreshold == 0 {
 		o.StallThreshold = DefaultStallThreshold
 	}
+	o.Sched = o.Sched.WithDefaults()
 	return o
 }
 
@@ -189,11 +229,30 @@ type request struct {
 	ops  []directory.Op
 	idxs []int32
 	t    *Ticket
+	// enq is when the request entered (or began blocking to enter) its
+	// ring; the drainer records now-enq into the class's latency
+	// histogram at completion. Zero on barriers and stop sentinels.
+	enq time.Time
+	// class is the submission's priority class: it names the ring the
+	// request sits in, and the latency histogram its completion lands
+	// in. Barriers and stop sentinels carry the class of the ring they
+	// were sent down.
+	class qos.Class
 	// barrier completes t without applying anything; stop additionally
-	// ends the drainer.
+	// ends the drainer (for its ring's class).
 	barrier bool
 	stop    bool
 }
+
+// classRings is one drainer's per-class ring set: one bounded MPSC ring
+// per priority class, arbitrated by the drain policy.
+type classRings [qos.NumClasses]chan request
+
+// The drain loop's pops are open-coded over exactly two classes (the
+// same open-coding discipline as the 2-way probe fast path); this
+// conversion fails to compile if qos.NumClasses ever changes without
+// this file keeping up.
+var _ [2]chan request = classRings{}
 
 // Ticket is a pollable completion handle for one submission.
 //
@@ -356,6 +415,13 @@ type Stats struct {
 	// ErredAccesses counts accesses whose requests completed with an
 	// error instead of applying (contained panics, quarantined shards).
 	ErredAccesses uint64
+	// Classes splits the traffic by priority class: per-class
+	// submitted/completed/rejected/shed counters plus the
+	// enqueue-to-completion latency distribution each drainer records
+	// (power-of-two ns buckets, merged across drainers). The aggregate
+	// counters above count ALL classes; Classes says who the traffic
+	// was and what tail it saw.
+	Classes [qos.NumClasses]qos.ClassStats
 }
 
 // Merge accumulates another snapshot into s — the aggregation path for
@@ -377,6 +443,9 @@ func (s *Stats) Merge(o Stats) {
 	s.Shed += o.Shed
 	s.ContainedPanics += o.ContainedPanics
 	s.ErredAccesses += o.ErredAccesses
+	for c := range s.Classes {
+		s.Classes[c].Merge(o.Classes[c])
+	}
 }
 
 // MergeStats merges engine snapshots into one fresh aggregate.
@@ -391,12 +460,18 @@ func MergeStats(snaps ...Stats) Stats {
 // Engine is the asynchronous submission front-end. It is safe for
 // concurrent use by any number of producers.
 type Engine struct {
-	dir    *directory.ShardedDirectory
-	opt    Options
-	queues []chan request
-	// depth tracks each queue's outstanding requests for the
-	// RejectWhenFull reservation protocol (see reserve).
+	dir *directory.ShardedDirectory
+	opt Options
+	// queues[qi] is drainer qi's per-class ring set; the drain policy
+	// (Options.Sched) arbitrates between the rings.
+	queues []classRings
+	// depth tracks each ring's outstanding requests for the
+	// RejectWhenFull reservation protocol (see reserve), indexed
+	// qi*qos.NumClasses+class — backpressure is per class.
 	depth []atomic.Int64
+	// recs[qi] is drainer qi's padded per-class latency recorder
+	// (single writer; snapshots race safely through its atomics).
+	recs []qos.Recorder
 
 	// mu serializes submissions against Close: submitters hold the read
 	// side across the closed check and the enqueue.
@@ -438,6 +513,9 @@ type Engine struct {
 	subAcc, cmpAcc, subReq, cmpReq, rejected, flushes atomic.Uint64
 	migRuns, migrated, rzStarted, rzDone, growFail    atomic.Uint64
 	shed, contained, erredAcc                         atomic.Uint64
+	// Per-class splits of the submission counters above (latency lives
+	// in the per-drainer recorders instead, to keep this block small).
+	clsSubAcc, clsCmpAcc, clsRej, clsShed [qos.NumClasses]atomic.Uint64
 	// quarCount is the fast any-quarantined check the submit path
 	// reads; degraded mirrors "any shard quarantined or any drainer
 	// stalled" (quarantine sets it eagerly, the watchdog recomputes
@@ -463,12 +541,16 @@ func New(dir *directory.ShardedDirectory, o Options) (*Engine, error) {
 	if o.Policy > RejectWhenFull {
 		return nil, fmt.Errorf("engine: unknown policy %d", o.Policy)
 	}
+	if err := o.Sched.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	o = o.withDefaults(dir.ShardCount())
 	e := &Engine{
 		dir:    dir,
 		opt:    o,
-		queues: make([]chan request, o.Drainers),
-		depth:  make([]atomic.Int64, o.Drainers),
+		queues: make([]classRings, o.Drainers),
+		depth:  make([]atomic.Int64, o.Drainers*qos.NumClasses),
+		recs:   make([]qos.Recorder, o.Drainers),
 		faults: o.Faults,
 		stopc:  make(chan struct{}),
 		quar:   make([]atomic.Bool, dir.ShardCount()),
@@ -477,7 +559,9 @@ func New(dir *directory.ShardedDirectory, o Options) (*Engine, error) {
 		obs:    make([]drainerObs, o.Drainers),
 	}
 	for i := range e.queues {
-		e.queues[i] = make(chan request, o.QueueDepth)
+		for c := range e.queues[i] {
+			e.queues[i][c] = make(chan request, o.QueueDepth)
+		}
 	}
 	e.auto = dir.ResizePolicy().MaxLoad > 0
 	e.wg.Add(o.Drainers)
@@ -497,9 +581,11 @@ func (e *Engine) Options() Options { return e.opt }
 // Directory returns the engine's underlying sharded directory.
 func (e *Engine) Directory() *directory.ShardedDirectory { return e.dir }
 
-// Stats returns a snapshot of the submission counters.
+// Stats returns a snapshot of the submission counters, including the
+// per-class split and each class's latency distribution merged across
+// the drainers' recorders.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		SubmittedAccesses: e.subAcc.Load(),
 		CompletedAccesses: e.cmpAcc.Load(),
 		SubmittedRequests: e.subReq.Load(),
@@ -515,6 +601,26 @@ func (e *Engine) Stats() Stats {
 		ContainedPanics:   e.contained.Load(),
 		ErredAccesses:     e.erredAcc.Load(),
 	}
+	for c := range st.Classes {
+		st.Classes[c] = qos.ClassStats{
+			SubmittedAccesses: e.clsSubAcc[c].Load(),
+			CompletedAccesses: e.clsCmpAcc[c].Load(),
+			Rejected:          e.clsRej[c].Load(),
+			Shed:              e.clsShed[c].Load(),
+			Latency:           e.classLatency(qos.Class(c)),
+		}
+	}
+	return st
+}
+
+// classLatency merges class c's distribution across the per-drainer
+// recorders.
+func (e *Engine) classLatency(c qos.Class) qos.Latency {
+	var l qos.Latency
+	for qi := range e.recs {
+		l.Merge(e.recs[qi].Snapshot(c))
+	}
+	return l
 }
 
 // Pending returns the number of enqueued-but-unfinished requests across
@@ -529,6 +635,19 @@ func (e *Engine) Pending() int {
 
 // queueOf returns the drainer queue index of shard h.
 func (e *Engine) queueOf(h int) int { return h % e.opt.Drainers }
+
+// di returns ring (qi, c)'s index into the per-ring depth accounting.
+func di(qi int, c qos.Class) int { return qi*qos.NumClasses + int(c) }
+
+// drainerDepth returns drainer qi's outstanding request count, summed
+// over its per-class rings.
+func (e *Engine) drainerDepth(qi int) int64 {
+	var total int64
+	for c := 0; c < qos.NumClasses; c++ {
+		total += e.depth[di(qi, qos.Class(c))].Load()
+	}
+	return total
+}
 
 // validate rejects malformed accesses with an error on the submitter's
 // stack — the engine's drainers must never panic on behalf of a remote
@@ -546,10 +665,21 @@ func (e *Engine) validate(accs []directory.Access) error {
 	return nil
 }
 
-// Submit enqueues one access and returns its ticket. ctx applies to the
-// enqueue only (a blocked submitter under BlockWhenFull); once enqueued
-// the access will be applied regardless of ctx.
+// Submit enqueues one access at the default (Foreground) class and
+// returns its ticket. ctx applies to the enqueue only (a blocked
+// submitter under BlockWhenFull); once enqueued the access will be
+// applied regardless of ctx.
 func (e *Engine) Submit(ctx context.Context, a directory.Access) (*Ticket, error) {
+	return e.SubmitClass(ctx, qos.Foreground, a)
+}
+
+// SubmitClass is Submit with an explicit priority class: the access
+// rides class c's ring, drains under class c's priority, and its
+// latency lands in class c's histogram.
+func (e *Engine) SubmitClass(ctx context.Context, c qos.Class, a directory.Access) (*Ticket, error) {
+	if !c.Valid() {
+		return nil, fmt.Errorf("engine: unknown class %d", c)
+	}
 	if err := e.validate([]directory.Access{a}); err != nil {
 		return nil, err
 	}
@@ -562,21 +692,26 @@ func (e *Engine) Submit(ctx context.Context, a directory.Access) (*Ticket, error
 	t := newTicket(1, ops, nil)
 	accs := []directory.Access{a}
 	q := e.queueOf(e.dir.ShardOf(a.Addr))
-	if err := e.send(ctx, []int{q}, []request{{accs: accs, ops: ops, t: t}}); err != nil {
+	if err := e.send(ctx, c, []int{q}, []request{{accs: accs, ops: ops, t: t, class: c}}); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-// SubmitBatch enqueues a batch and returns one ticket covering it;
-// Ticket.Ops() reports results in batch order. The engine routes each
-// access to its home shard's queue, so a batch may fan out to several
-// drainers; its ticket completes when the last sub-batch has applied.
-// The batch slice is copied where routing requires it but may be
-// retained until completion — do not mutate it before the ticket is
-// done.
+// SubmitBatch enqueues a batch at the default (Foreground) class and
+// returns one ticket covering it; Ticket.Ops() reports results in batch
+// order. The engine routes each access to its home shard's queue, so a
+// batch may fan out to several drainers; its ticket completes when the
+// last sub-batch has applied. The batch slice is copied where routing
+// requires it but may be retained until completion — do not mutate it
+// before the ticket is done.
 func (e *Engine) SubmitBatch(ctx context.Context, accs []directory.Access) (*Ticket, error) {
-	return e.submitBatch(ctx, accs, true, nil)
+	return e.submitBatch(ctx, qos.Foreground, accs, true, nil)
+}
+
+// SubmitBatchClass is SubmitBatch with an explicit priority class.
+func (e *Engine) SubmitBatchClass(ctx context.Context, c qos.Class, accs []directory.Access) (*Ticket, error) {
+	return e.submitBatch(ctx, c, accs, true, nil)
 }
 
 // SubmitBatchFunc is SubmitBatch with a completion callback instead of
@@ -585,24 +720,42 @@ func (e *Engine) SubmitBatch(ctx context.Context, accs []directory.Access) (*Tic
 // would report) on an engine goroutine once every access has applied.
 // Keep fn short — it runs on the drainer that completed the batch.
 func (e *Engine) SubmitBatchFunc(ctx context.Context, accs []directory.Access, fn func(ops []directory.Op, err error)) error {
+	return e.SubmitBatchFuncClass(ctx, qos.Foreground, accs, fn)
+}
+
+// SubmitBatchFuncClass is SubmitBatchFunc with an explicit priority
+// class.
+func (e *Engine) SubmitBatchFuncClass(ctx context.Context, c qos.Class, accs []directory.Access, fn func(ops []directory.Op, err error)) error {
 	if fn == nil {
 		return errors.New("engine: SubmitBatchFunc with nil callback (use SubmitDetached)")
 	}
-	_, err := e.submitBatch(ctx, accs, true, fn)
+	_, err := e.submitBatch(ctx, c, accs, true, fn)
 	return err
 }
 
-// SubmitDetached enqueues a batch fire-and-forget: no ticket, no Op
-// recording — the cheapest submission path (Flush still covers it).
-// The batch is copied during routing, so the caller may reuse its
-// slice as soon as SubmitDetached returns (there is no ticket that
-// could signal a safe-reuse point otherwise).
+// SubmitDetached enqueues a batch fire-and-forget at the default
+// (Foreground) class: no ticket, no Op recording — the cheapest
+// submission path (Flush still covers it). The batch is copied during
+// routing, so the caller may reuse its slice as soon as SubmitDetached
+// returns (there is no ticket that could signal a safe-reuse point
+// otherwise).
 func (e *Engine) SubmitDetached(ctx context.Context, accs []directory.Access) error {
-	_, err := e.submitBatch(ctx, accs, false, nil)
+	_, err := e.submitBatch(ctx, qos.Foreground, accs, false, nil)
 	return err
 }
 
-func (e *Engine) submitBatch(ctx context.Context, accs []directory.Access, record bool, fn func([]directory.Op, error)) (*Ticket, error) {
+// SubmitDetachedClass is SubmitDetached with an explicit priority
+// class — the bulk-load fast path: background fills ride the background
+// ring and shed first under saturation.
+func (e *Engine) SubmitDetachedClass(ctx context.Context, c qos.Class, accs []directory.Access) error {
+	_, err := e.submitBatch(ctx, c, accs, false, nil)
+	return err
+}
+
+func (e *Engine) submitBatch(ctx context.Context, c qos.Class, accs []directory.Access, record bool, fn func([]directory.Op, error)) (*Ticket, error) {
+	if !c.Valid() {
+		return nil, fmt.Errorf("engine: unknown class %d", c)
+	}
 	if len(accs) == 0 {
 		return nil, errors.New("engine: empty batch")
 	}
@@ -630,7 +783,7 @@ func (e *Engine) submitBatch(ctx context.Context, accs []directory.Access, recor
 			// copies as a side effect of splitting).
 			accs = append([]directory.Access(nil), accs...)
 		}
-		reqs = []request{{accs: accs}}
+		reqs = []request{{accs: accs, class: c}}
 		queues = []int{0}
 	} else {
 		subAccs := make([][]directory.Access, D)
@@ -649,7 +802,7 @@ func (e *Engine) submitBatch(ctx context.Context, accs []directory.Access, recor
 			if len(sub) == 0 {
 				continue
 			}
-			r := request{accs: sub}
+			r := request{accs: sub, class: c}
 			// A whole batch landing on one queue keeps its results
 			// contiguous — no scatter indices needed. Detached batches
 			// record nothing at all.
@@ -672,7 +825,7 @@ func (e *Engine) submitBatch(ctx context.Context, accs []directory.Access, recor
 			}
 		}
 	}
-	if err := e.send(ctx, queues, reqs); err != nil {
+	if err := e.send(ctx, c, queues, reqs); err != nil {
 		return nil, err
 	}
 	if !record {
@@ -681,11 +834,13 @@ func (e *Engine) submitBatch(ctx context.Context, accs []directory.Access, recor
 	return t, nil
 }
 
-// send enqueues reqs[i] on queues[i] under the submission lock,
-// applying the backpressure policy. Under RejectWhenFull it first
-// reserves space on every target queue, so either the whole submission
-// enqueues or none of it does.
-func (e *Engine) send(ctx context.Context, queues []int, reqs []request) error {
+// send enqueues reqs[i] on class c's ring of drainer queues[i] under
+// the submission lock, applying the backpressure policy. Backpressure
+// is per class: under RejectWhenFull it first reserves space on every
+// target ring of c — the whole submission enqueues or none of it does,
+// and a refusal carries the class (QueueFullError) — while under
+// BlockWhenFull only class c's rings can block the submitter.
+func (e *Engine) send(ctx context.Context, c qos.Class, queues []int, reqs []request) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -694,6 +849,7 @@ func (e *Engine) send(ctx context.Context, queues []int, reqs []request) error {
 	// stopped waiting, so queueing it only deepens an overload.
 	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
 		e.shed.Add(1)
+		e.clsShed[c].Add(1)
 		return ErrDeadlineExceeded
 	}
 	e.mu.RLock()
@@ -702,33 +858,44 @@ func (e *Engine) send(ctx context.Context, queues []int, reqs []request) error {
 		return ErrClosed
 	}
 	if e.faults != nil {
-		// Injected saturation: the submission observes a full queue
-		// regardless of actual depth — the client-visible symptom of an
-		// overloaded drainer, without having to construct one.
-		if ferr := e.faults.Fire(faults.QueueSaturation, queues[0]); ferr != nil {
+		// Injected saturation, keyed by the submission's CLASS: the
+		// submission observes a full ring regardless of actual depth —
+		// the client-visible symptom of an overloaded drainer, without
+		// having to construct one — and a chaos test can saturate only
+		// the background ring.
+		if ferr := e.faults.Fire(faults.QueueSaturation, int(c)); ferr != nil {
 			e.rejected.Add(1)
-			return ErrQueueFull
+			e.clsRej[c].Add(1)
+			return queueFullErrs[c]
 		}
 	}
+	// Stamp enqueue time once per submission: the drainer's completion
+	// record measures from here, so queue wait (including any blocking
+	// below — that IS queueing delay) counts toward the class's tail.
+	now := time.Now()
+	for i := range reqs {
+		reqs[i].enq = now
+	}
 	if e.opt.Policy == RejectWhenFull {
-		if !e.reserve(queues) {
+		if !e.reserve(c, queues) {
 			e.rejected.Add(1)
-			return ErrQueueFull
+			e.clsRej[c].Add(1)
+			return queueFullErrs[c]
 		}
 		// Reserved space means the buffered sends below cannot block.
 		for i, q := range queues {
-			e.queues[q] <- reqs[i]
+			e.queues[q][c] <- reqs[i]
 			e.account(reqs[i])
 		}
 		return nil
 	}
 	for i, q := range queues {
-		e.depth[q].Add(1)
+		e.depth[di(q, c)].Add(1)
 		select {
-		case e.queues[q] <- reqs[i]:
+		case e.queues[q][c] <- reqs[i]:
 			e.account(reqs[i])
 		case <-ctx.Done():
-			e.depth[q].Add(-1)
+			e.depth[di(q, c)].Add(-1)
 			// Earlier sub-batches are already enqueued and will apply.
 			// The caller only sees the ctx error (never the ticket), so
 			// suppress any callback and retire the unsent remainder to
@@ -747,20 +914,20 @@ func (e *Engine) send(ctx context.Context, queues []int, reqs []request) error {
 	return nil
 }
 
-// reserve atomically claims one slot on every queue in queues (which
-// may repeat indices — each occurrence claims a slot), rolling back and
-// reporting false if any queue is full.
-func (e *Engine) reserve(queues []int) bool {
+// reserve atomically claims one slot on class c's ring of every queue
+// in queues (which may repeat indices — each occurrence claims a slot),
+// rolling back and reporting false if any ring is full.
+func (e *Engine) reserve(c qos.Class, queues []int) bool {
 	for i, q := range queues {
 		for {
-			d := e.depth[q].Load()
+			d := e.depth[di(q, c)].Load()
 			if d >= int64(e.opt.QueueDepth) {
 				for _, back := range queues[:i] {
-					e.depth[back].Add(-1)
+					e.depth[di(back, c)].Add(-1)
 				}
 				return false
 			}
-			if e.depth[q].CompareAndSwap(d, d+1) {
+			if e.depth[di(q, c)].CompareAndSwap(d, d+1) {
 				break
 			}
 		}
@@ -772,6 +939,7 @@ func (e *Engine) reserve(queues []int) bool {
 func (e *Engine) account(r request) {
 	e.subReq.Add(1)
 	e.subAcc.Add(uint64(len(r.accs)))
+	e.clsSubAcc[r.class].Add(uint64(len(r.accs)))
 }
 
 // Flush blocks until every request submitted before the call has been
@@ -793,13 +961,16 @@ func (e *Engine) Flush(ctx context.Context) error {
 	return nil
 }
 
-// barrier enqueues a barrier request on every queue and returns its
-// ticket. Barriers bypass the backpressure policy (they must succeed)
-// and are not counted in the depth accounting. Callers hold e.mu.
+// barrier enqueues a barrier request on EVERY ring of every queue —
+// per-ring FIFO then covers both classes — and returns its ticket.
+// Barriers bypass the backpressure policy (they must succeed) and are
+// not counted in the depth accounting. Callers hold e.mu.
 func (e *Engine) barrier() *Ticket {
-	t := newTicket(len(e.queues), nil, nil)
-	for _, q := range e.queues {
-		q <- request{t: t, barrier: true}
+	t := newTicket(len(e.queues)*qos.NumClasses, nil, nil)
+	for _, rings := range e.queues {
+		for c, q := range rings {
+			q <- request{t: t, barrier: true, class: qos.Class(c)}
+		}
 	}
 	return t
 }
@@ -824,9 +995,13 @@ func (e *Engine) Close() error {
 	e.closed = true
 	e.mu.Unlock()
 	// No submitter can enqueue past the closed flag, so the stop
-	// sentinel is the last element of each queue.
-	for _, q := range e.queues {
-		q <- request{stop: true}
+	// sentinel is the last element of each ring; a drainer exits only
+	// after it has seen the stop of EVERY ring, so both classes drain
+	// fully.
+	for _, rings := range e.queues {
+		for c, q := range rings {
+			q <- request{stop: true, class: qos.Class(c)}
+		}
 	}
 	e.wg.Wait()
 	return nil
@@ -843,18 +1018,20 @@ const (
 )
 
 // drain is one drainer goroutine: it pops RUNS of requests off its
-// bounded ring — the first pop blocks, then every request already
-// queued behind it is taken without blocking (up to the coalescing
-// bounds) — and applies each run's accesses for a shard through ONE
-// ApplyShardOps call. This is the batch-amortized drain closing the
-// queue-transfer gap vs. direct ApplyShard: while the drainer applies,
-// producers deepen the queue, and the whole backlog then costs one
-// wake-up, one lock acquisition per touched shard and one validation
-// pass, instead of one of each per submission. Per-queue FIFO is
-// preserved (runs concatenate in pop order; barriers and stop cut a
-// run and are handled after the requests popped before them).
-// Lifecycle bookkeeping (the deferred WaitGroup release) lives here;
-// the pop/apply loop itself is drainLoop, the annotated hot path.
+// bounded per-class rings — the first pop blocks, then every request
+// already queued behind it is taken without blocking (up to the
+// coalescing bounds), in the order the drain policy dictates — and
+// applies each run's accesses for a shard through ONE ApplyShardOps
+// call. This is the batch-amortized drain closing the queue-transfer
+// gap vs. direct ApplyShard: while the drainer applies, producers
+// deepen the queues, and the whole backlog then costs one wake-up, one
+// lock acquisition per touched shard and one validation pass, instead
+// of one of each per submission. FIFO is preserved PER RING — one
+// class's requests to one shard complete in submission order; ordering
+// ACROSS classes is exactly what the scheduler trades away (barriers
+// and stop cut a run and are handled after the requests popped before
+// them). Lifecycle bookkeeping (the deferred WaitGroup release) lives
+// here; the pop/apply loop itself is drainLoop, the annotated hot path.
 func (e *Engine) drain(qi int) {
 	defer e.wg.Done()
 	// buckets[b] holds the concat positions of the accesses homing onto
@@ -863,51 +1040,193 @@ func (e *Engine) drain(qi int) {
 	e.drainLoop(qi, e.queues[qi], e.opt.Drainers == e.dir.ShardCount(), buckets)
 }
 
-// drainLoop is the drainer's run loop. Its queue IS a channel — the
+// drainSched is one drainer's scheduling state: which rings are still
+// live (their stop sentinel not yet seen) and, under WeightedDeficit,
+// each class's remaining credit in accesses. It lives on the drainer's
+// stack — the policy costs no atomics and no sharing.
+type drainSched struct {
+	weighted bool
+	quantum  int64
+	weights  [qos.NumClasses]int64
+	credits  [qos.NumClasses]int64
+	live     [qos.NumClasses]bool
+}
+
+func newDrainSched(s qos.Sched) drainSched {
+	d := drainSched{
+		weighted: s.Policy == qos.WeightedDeficit,
+		quantum:  int64(s.Quantum),
+	}
+	for c := range d.weights {
+		d.weights[c] = int64(s.Weights[c])
+		d.live[c] = true
+		d.credits[c] = d.weights[c] * d.quantum
+	}
+	return d
+}
+
+// anyLive reports whether any ring has not yet delivered its stop.
+//
+//cuckoo:hotpath
+func (s *drainSched) anyLive() bool { return s.live[qos.Foreground] || s.live[qos.Background] }
+
+// charge debits a popped request against its class's credit (weighted
+// policy only; barriers and sentinels carry no accesses and cost
+// nothing).
+//
+//cuckoo:hotpath
+func (s *drainSched) charge(r request) {
+	if s.weighted {
+		s.credits[r.class] -= int64(len(r.accs))
+	}
+}
+
+// refill grants every live class a fresh Weights[c]*Quantum accesses of
+// credit, carrying accumulated overdraft — called when no class could
+// pop under its current credit.
+//
+//cuckoo:hotpath
+func (s *drainSched) refill() {
+	for c := range s.credits {
+		if !s.live[c] {
+			continue
+		}
+		if s.credits[c] < 0 {
+			s.credits[c] += s.weights[c] * s.quantum
+		} else {
+			s.credits[c] = s.weights[c] * s.quantum
+		}
+	}
+}
+
+// popNB is the policy-ordered non-blocking pop: strict priority always
+// tries the foreground ring first; weighted-deficit tries classes in
+// priority order among those holding credit. allowRefill distinguishes
+// a run's FIRST pop (refill once when every credited ring came up
+// empty, so a backlogged class with spent credit is never wrongly
+// declared idle) from the coalescing pops that extend a run (no refill:
+// a class that exhausts its credit mid-run stops extending THIS run and
+// earns fresh credit at the next run boundary — which is what bounds a
+// run's lower-priority burst, and with it the priority-inversion window
+// a just-arrived foreground request can be stuck behind, to roughly
+// Weights[bg]*Quantum accesses instead of the full coalescing cap).
+// Reports false when nothing can be popped.
+//
+//cuckoo:hotpath
+func (s *drainSched) popNB(rings classRings, allowRefill bool) (request, bool) {
+	if !s.weighted {
+		if s.live[qos.Foreground] {
+			//cuckoo:ignore the ring IS a channel by design; strict priority's foreground-first non-blocking pop
+			select {
+			case r := <-rings[qos.Foreground]:
+				return r, true
+			default:
+			}
+		}
+		if s.live[qos.Background] {
+			//cuckoo:ignore the ring IS a channel by design; strict priority's background non-blocking pop
+			select {
+			case r := <-rings[qos.Background]:
+				return r, true
+			default:
+			}
+		}
+		return request{}, false
+	}
+	for pass := 0; pass < 2; pass++ {
+		if s.live[qos.Foreground] && s.credits[qos.Foreground] > 0 {
+			//cuckoo:ignore the ring IS a channel by design; weighted-deficit's credited foreground pop
+			select {
+			case r := <-rings[qos.Foreground]:
+				s.charge(r)
+				return r, true
+			default:
+			}
+		}
+		if s.live[qos.Background] && s.credits[qos.Background] > 0 {
+			//cuckoo:ignore the ring IS a channel by design; weighted-deficit's credited background pop
+			select {
+			case r := <-rings[qos.Background]:
+				s.charge(r)
+				return r, true
+			default:
+			}
+		}
+		// Nothing popped: either the credited rings are empty or the
+		// non-empty rings are out of credit — one refill resolves the
+		// ambiguity (a second failure means genuinely empty).
+		if pass == 0 && allowRefill {
+			s.refill()
+			continue
+		}
+		break
+	}
+	return request{}, false
+}
+
+// popBlocking parks the drainer until any live ring delivers. The
+// arrival order decides between simultaneously-ready rings (both were
+// empty when popNB gave up); the policy re-asserts itself on the
+// coalescing pops that follow.
+//
+//cuckoo:hotpath
+func (s *drainSched) popBlocking(rings classRings) request {
+	var r request
+	switch {
+	case s.live[qos.Foreground] && s.live[qos.Background]:
+		//cuckoo:ignore the rings ARE channels by design; this is the drainer's blocking pop over both classes
+		select {
+		case r = <-rings[qos.Foreground]:
+		case r = <-rings[qos.Background]:
+		}
+	case s.live[qos.Foreground]:
+		//cuckoo:ignore the ring IS a channel by design; blocking pop with only the foreground ring live
+		r = <-rings[qos.Foreground]
+	default:
+		//cuckoo:ignore the ring IS a channel by design; blocking pop with only the background ring live
+		r = <-rings[qos.Background]
+	}
+	s.charge(r)
+	return r
+}
+
+// drainLoop is the drainer's run loop. Its rings ARE channels — the
 // pops carry ignore directives; everything else on the loop honors the
-// hot-path contract. Resize work interleaves here: while any shard
-// migrates, an idle queue yields migration steps instead of a blocking
+// hot-path contract. The drain policy (Options.Sched) decides which
+// class's ring each pop serves: strict priority never takes background
+// work while foreground work waits, weighted-deficit meters both
+// classes by credit. Resize work interleaves here: while any shard
+// migrates, idle rings yield migration steps instead of a blocking
 // pop, and every applied run is followed by one bounded step — so a
 // live rehash proceeds under sustained traffic AND drains at full
 // drainer speed in the gaps, without a dedicated migration goroutine.
 //
 //cuckoo:hotpath
-func (e *Engine) drainLoop(qi int, q chan request, singleShard bool, buckets [][]int32) {
+func (e *Engine) drainLoop(qi int, rings classRings, singleShard bool, buckets [][]int32) {
 	var run []request
 	var concatAccs []directory.Access // run's accesses, concatenated
 	var concatOps []directory.Op      // their Ops, in concat order
 	var gatherAccs []directory.Access // per-shard gather (grouped path)
 	var gatherOps []directory.Op
+	sched := newDrainSched(e.opt.Sched)
 	for {
-		var r request
-		if e.dir.MigratingShards() > 0 {
-			var popped bool
-			//cuckoo:ignore the non-blocking idle-check pop off the channel queue; migration steps fill the idle gap, by design
-			select {
-			case r = <-q:
-				popped = true
-			default:
+		r, ok := sched.popNB(rings, true)
+		if !ok {
+			if e.dir.MigratingShards() > 0 && e.migrateStep(qi) {
+				// Progressed a migration; re-check the rings before the
+				// next step so requests never wait on one.
+				continue
 			}
-			if !popped {
-				if e.migrateStep(qi) {
-					// Progressed a migration; re-check the queue before
-					// the next step so requests never wait on one.
-					continue
-				}
-				// The migrating shards belong to other drainers.
-				//cuckoo:ignore the request queue is a channel by design; this is the drainer's blocking pop
-				r = <-q
-			}
-		} else {
-			//cuckoo:ignore the request queue is a channel by design; this is the drainer's blocking pop
-			r = <-q
+			r = sched.popBlocking(rings)
 		}
 		// Heartbeat: one beat per wake-up, BEFORE the apply — a drainer
 		// stuck (or stalled by injection) inside a run freezes its beat,
 		// which is exactly what the watchdog looks for.
 		e.beats[qi].Add(1)
-		// Pop a run: r plus everything already queued, until a barrier
-		// or stop sentinel (processed after the run) or a bound trips.
+		// Pop a run: r plus everything already queued, in policy order,
+		// until a barrier or stop sentinel (processed after the run) or
+		// a bound trips. A run may mix classes — each request remembers
+		// its own.
 		run = run[:0]
 		var tail *request
 		accs := 0
@@ -921,13 +1240,11 @@ func (e *Engine) drainLoop(qi int, q chan request, singleShard bool, buckets [][
 			if len(run) == maxCoalesceReqs || accs >= maxCoalesceAccs {
 				break
 			}
-			//cuckoo:ignore the non-blocking coalescing pop off the channel queue, by design
-			select {
-			case r = <-q:
-				continue
-			default:
+			var more bool
+			r, more = sched.popNB(rings, false)
+			if !more {
+				break
 			}
-			break
 		}
 		if len(run) > 0 {
 			e.applyRun(qi, run, singleShard, buckets, &concatAccs, &concatOps, &gatherAccs, &gatherOps)
@@ -944,7 +1261,13 @@ func (e *Engine) drainLoop(qi int, q chan request, singleShard bool, buckets [][
 		}
 		if tail != nil {
 			if tail.stop {
-				return
+				// This ring is done; keep draining the other until its
+				// stop arrives too.
+				sched.live[tail.class] = false
+				if !sched.anyLive() {
+					return
+				}
+				continue
 			}
 			// A nudge (ResizeShard's drainer wake-up) is a barrier with
 			// no ticket: nothing to complete.
@@ -1077,8 +1400,10 @@ func (e *Engine) resize(h int, begin func() error) error {
 	// breaks the drainer out of its blocking pop so the idle-queue
 	// migration path engages. Barriers bypass backpressure (uncounted in
 	// depth), so this send can exceed QueueDepth momentarily but never
-	// deadlocks against a full queue of ordinary requests.
-	e.queues[e.queueOf(h)] <- request{barrier: true}
+	// deadlocks against a full queue of ordinary requests. Any ring
+	// wakes the drainer; the foreground ring is the one strict priority
+	// checks first.
+	e.queues[e.queueOf(h)][qos.Foreground] <- request{barrier: true, class: qos.Foreground}
 	return nil
 }
 
@@ -1169,7 +1494,10 @@ func (e *Engine) applyRun(qi int, run []request, singleShard bool, buckets [][]i
 		}
 	}
 	// Scatter each request's Op span to its destination and retire it,
-	// in pop order.
+	// in pop order. One clock read covers the whole run's latency
+	// samples: enqueue-to-completion at power-of-two resolution does not
+	// need a per-request timestamp, and the drain path stays clock-cheap.
+	now := time.Now()
 	off := 0
 	for i := range run {
 		r := run[i]
@@ -1182,6 +1510,7 @@ func (e *Engine) applyRun(qi int, run []request, singleShard bool, buckets [][]i
 			copy(r.ops, ops[off:off+n])
 		}
 		off += n
+		e.recs[qi].Record(r.class, now.Sub(r.enq))
 		e.finish(qi, r, runErr)
 	}
 }
@@ -1258,7 +1587,8 @@ func (e *Engine) checkQuarantined(accs []directory.Access) error {
 func (e *Engine) finish(qi int, r request, err error) {
 	e.cmpReq.Add(1)
 	e.cmpAcc.Add(uint64(len(r.accs)))
-	e.depth[qi].Add(-1)
+	e.clsCmpAcc[r.class].Add(uint64(len(r.accs)))
+	e.depth[di(qi, r.class)].Add(-1)
 	if err != nil {
 		e.erredAcc.Add(uint64(len(r.accs)))
 	}

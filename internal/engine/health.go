@@ -2,6 +2,8 @@ package engine
 
 import (
 	"time"
+
+	"cuckoodir/internal/qos"
 )
 
 // DefaultStallThreshold is the watchdog's no-progress bound when
@@ -13,8 +15,11 @@ const DefaultStallThreshold = time.Second
 type DrainerHealth struct {
 	// Queue is the drainer/queue index.
 	Queue int
-	// Depth is the queue's outstanding request count at snapshot time.
+	// Depth is the drainer's outstanding request count at snapshot time,
+	// summed over its per-class rings.
 	Depth int
+	// ClassDepth splits Depth by priority class.
+	ClassDepth [qos.NumClasses]int
 	// Beats is the drainer's heartbeat counter (one per wake-up).
 	Beats uint64
 	// LastProgress is the watchdog's most recent observation of the
@@ -47,6 +52,24 @@ type Health struct {
 	// growth never failed). Stats.GrowFailures counts how often; this
 	// keeps why.
 	LastGrowError error
+	// Classes holds one per-class latency row per priority class: the
+	// enqueue-to-completion percentiles an operator watches to tell a
+	// healthy overload (background shedding, foreground tail flat) from
+	// an unhealthy one.
+	Classes [qos.NumClasses]ClassLatency
+}
+
+// ClassLatency is one priority class's latency row in a Health
+// snapshot, merged across the engine's per-drainer recorders.
+type ClassLatency struct {
+	// Class identifies the row.
+	Class qos.Class
+	// Samples is the number of completions recorded.
+	Samples uint64
+	// P50/P99/P999 are the enqueue-to-completion percentiles at
+	// power-of-two resolution (each reported at its bucket's inclusive
+	// upper bound).
+	P50, P99, P999 time.Duration
 }
 
 // Health returns the engine's current health snapshot. It is safe to
@@ -58,15 +81,30 @@ func (e *Engine) Health() Health {
 	}
 	e.healthMu.Lock()
 	for i := range h.Drainers {
-		h.Drainers[i] = DrainerHealth{
+		d := DrainerHealth{
 			Queue:        i,
-			Depth:        int(e.depth[i].Load()),
 			Beats:        e.beats[i].Load(),
 			LastProgress: e.obs[i].lastProgress,
 			Stalled:      e.obs[i].stalled,
 		}
+		for c := 0; c < qos.NumClasses; c++ {
+			d.ClassDepth[c] = int(e.depth[di(i, qos.Class(c))].Load())
+			d.Depth += d.ClassDepth[c]
+		}
+		h.Drainers[i] = d
 	}
 	e.healthMu.Unlock()
+	for c := 0; c < qos.NumClasses; c++ {
+		l := e.classLatency(qos.Class(c))
+		p50, p99, p999 := l.Percentiles()
+		h.Classes[c] = ClassLatency{
+			Class:   qos.Class(c),
+			Samples: l.Count(),
+			P50:     p50,
+			P99:     p99,
+			P999:    p999,
+		}
+	}
 	for s := range e.quar {
 		if e.quar[s].Load() {
 			h.QuarantinedShards = append(h.QuarantinedShards, s)
@@ -122,7 +160,7 @@ func (e *Engine) watchdog() {
 		anyStalled := false
 		e.healthMu.Lock()
 		for i := range e.beats {
-			if b := e.beats[i].Load(); b != last[i] || e.depth[i].Load() == 0 {
+			if b := e.beats[i].Load(); b != last[i] || e.drainerDepth(i) == 0 {
 				last[i] = b
 				e.obs[i].lastProgress = now
 				e.obs[i].stalled = false

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cuckoodir/internal/directory"
+	"cuckoodir/internal/qos"
 	"cuckoodir/internal/rng"
 )
 
@@ -54,9 +55,22 @@ func (o RetryOptions) withDefaults() RetryOptions {
 // rejected batch enqueues nothing (all-or-nothing), so it can be
 // resubmitted verbatim after backing off. Every other error (including
 // ErrDeadlineExceeded and ErrShardQuarantined — retrying those cannot
-// help) returns immediately; ctx cancels a backoff sleep. The last
-// attempt's ErrQueueFull is returned when the budget is exhausted.
+// help) returns immediately; ctx cancels a backoff sleep, and a sleep
+// is capped at the ctx deadline so an almost-expired deadline is never
+// overshot — the expiry surfaces as ErrDeadlineExceeded through the
+// next attempt's pre-enqueue shed check, consistently with every other
+// shed. The last attempt's queue-full error is returned when the budget
+// is exhausted. Batches submit as Foreground.
 func (e *Engine) SubmitRetry(ctx context.Context, accs []directory.Access, o RetryOptions) (*Ticket, error) {
+	return e.SubmitRetryClass(ctx, qos.Foreground, accs, o)
+}
+
+// SubmitRetryClass is SubmitRetry for an explicit priority class. Note
+// that retrying a Background rejection against a saturating engine is
+// often the WRONG move — the engine sheds background first by design —
+// but a bounded, jittered retry is still the polite way to probe for
+// the load to clear.
+func (e *Engine) SubmitRetryClass(ctx context.Context, c qos.Class, accs []directory.Access, o RetryOptions) (*Ticket, error) {
 	o = o.withDefaults()
 	if ctx == nil {
 		ctx = context.Background()
@@ -64,7 +78,7 @@ func (e *Engine) SubmitRetry(ctx context.Context, accs []directory.Access, o Ret
 	var jitter *rng.Source
 	backoff := o.BaseDelay
 	for attempt := 1; ; attempt++ {
-		t, err := e.SubmitBatch(ctx, accs)
+		t, err := e.SubmitBatchClass(ctx, c, accs)
 		if err == nil || !errors.Is(err, ErrQueueFull) || attempt >= o.Attempts {
 			return t, err
 		}
@@ -72,10 +86,30 @@ func (e *Engine) SubmitRetry(ctx context.Context, accs []directory.Access, o Ret
 			jitter = rng.New(o.Seed)
 		}
 		sleep := time.Duration(jitter.Uint64()%uint64(backoff)) + 1
+		// Never sleep past the ctx deadline: cap the sleep so the loop
+		// wakes AT expiry, and route an already-expired deadline through
+		// one more SubmitBatchClass — its pre-enqueue check sheds with
+		// ErrDeadlineExceeded AND counts the shed (per class, in Stats),
+		// so expiry reports identically whether it struck before the
+		// first attempt or mid-backoff. A doomed context never burns the
+		// rest of a backoff step.
+		if deadline, ok := ctx.Deadline(); ok {
+			if remain := time.Until(deadline); remain < sleep {
+				sleep = remain
+			}
+			if sleep <= 0 {
+				continue
+			}
+		}
 		timer := time.NewTimer(sleep)
 		select {
 		case <-ctx.Done():
 			timer.Stop()
+			// Deadline expiry mid-sleep sheds via the next attempt, like
+			// the cap above; plain cancellation stays ctx.Err().
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				continue
+			}
 			return nil, ctx.Err()
 		case <-timer.C:
 		}

@@ -87,6 +87,7 @@ func All() []Experiment {
 		replayThroughputExp(),
 		resizeExp(),
 		degradeExp(),
+		saturateExp(),
 	}
 }
 

@@ -16,7 +16,7 @@ func TestRegistry(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig4", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "mix", "hashes", "ablation", "formats",
-		"analytic", "latency", "replay", "resize", "degrade",
+		"analytic", "latency", "replay", "resize", "degrade", "saturate",
 	}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -620,5 +620,66 @@ func TestDegradeQuick(t *testing.T) {
 	}
 	if !strings.Contains(body, "erred accesses: 0, contained panics: 0") {
 		t.Errorf("degrade run erred or contained a panic — a stall must not corrupt:\n%s", body)
+	}
+}
+
+// TestSaturateQuick: the QoS saturation experiment sweeps the flood
+// levels, sheds the background class at overload while the foreground
+// is rejected zero times at every level, and its no-QoS control shows
+// the classless client shedding instead — with no WARNING note, i.e.
+// both shapes actually appeared on this host.
+func TestSaturateQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput experiment")
+	}
+	ts := runExp(t, "saturate")
+	if len(ts) != 2 {
+		t.Fatalf("saturate tables = %d, want sweep + control", len(ts))
+	}
+	tb := ts[0]
+	if tb.NumRows() < 3 {
+		t.Fatalf("sweep rows = %d, want at least baseline + 2 flood levels", tb.NumRows())
+	}
+	if tb.Cell(0, 0) != "0" {
+		t.Fatalf("first sweep row is %q, want the uncontended baseline", tb.Cell(0, 0))
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		if v := parseFloat(t, tb.Cell(r, 6)); v != 0 {
+			t.Errorf("level %s: foreground rejected %v batches, want 0 at every level", tb.Cell(r, 0), v)
+		}
+		if v := parseFloat(t, tb.Cell(r, 1)); v <= 0 {
+			t.Errorf("level %s: zero throughput", tb.Cell(r, 0))
+		}
+	}
+	last := tb.NumRows() - 1
+	if v := parseFloat(t, tb.Cell(last, 7)); v <= 0 {
+		t.Error("top flood level shed no background batches — the sweep did not saturate")
+	}
+	body := tb.String()
+	if !strings.Contains(body, "background sheds first") {
+		t.Errorf("sweep table does not record the shed order:\n%s", body)
+	}
+	if strings.Contains(body, "WARNING") {
+		t.Errorf("sweep table carries a saturation warning:\n%s", body)
+	}
+
+	ctrl := ts[1]
+	if ctrl.NumRows() != 2 {
+		t.Fatalf("control rows = %d, want QoS + no-QoS", ctrl.NumRows())
+	}
+	if v := parseFloat(t, ctrl.Cell(0, 2)); v != 0 {
+		t.Errorf("QoS control row: client rejected %v batches, want 0", v)
+	}
+	qosDone := parseFloat(t, ctrl.Cell(0, 1))
+	noQoSDone := parseFloat(t, ctrl.Cell(1, 1))
+	if noQoSDone >= qosDone {
+		t.Errorf("classless client completed %v >= QoS client's %v — the control shows no separation benefit", noQoSDone, qosDone)
+	}
+	cbody := ctrl.String()
+	if !strings.Contains(cbody, "class separation at work") {
+		t.Errorf("control table does not record the separation verdict:\n%s", cbody)
+	}
+	if strings.Contains(cbody, "WARNING") {
+		t.Errorf("control table carries a warning:\n%s", cbody)
 	}
 }

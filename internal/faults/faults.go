@@ -68,7 +68,10 @@ const (
 	// Trigger.Err (default ErrInjected) before the directory is asked.
 	GrowBuildFail
 	// QueueSaturation makes a submission observe a full queue
-	// (ErrQueueFull) regardless of actual depth.
+	// (ErrQueueFull) regardless of actual depth. Its hit key is the
+	// submission's QoS class (int(qos.Class)), so a chaos test can
+	// saturate only the background class and watch the foreground tail
+	// hold.
 	QueueSaturation
 	// MigrationPanic panics inside a background migration step; the
 	// engine must recover it and quarantine the migrating shard.
@@ -103,7 +106,8 @@ const AnyKey = -1
 // Trigger decides, deterministically, which hits of a fault point fire.
 // The zero value fires on every hit of key 0 — set Key to AnyKey to
 // match all keys (the engine passes the shard index as the key, or the
-// queue index for QueueSaturation).
+// submission's QoS class for QueueSaturation — key 0 saturates the
+// foreground class, key 1 the background class).
 type Trigger struct {
 	// Key restricts the trigger to hits carrying this key; AnyKey (-1)
 	// matches every hit.

@@ -1,0 +1,150 @@
+package qos
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cuckoodir/internal/stats"
+)
+
+// Latency is a mergeable snapshot of one class's completion-latency
+// distribution: power-of-two nanosecond buckets (stats.Log2Bucket).
+// It is plain data — safe to copy, compare and aggregate — and rides on
+// stats.Histogram for the percentile arithmetic.
+//
+//cuckoo:stats merge=Merge
+type Latency struct {
+	// Buckets[b] counts samples whose nanosecond value falls in
+	// stats.Log2Bucket bucket b.
+	Buckets [stats.NumLog2Buckets]uint64
+}
+
+// Merge accumulates another snapshot into l — the aggregation path from
+// per-drainer recorders up to engine-wide (and multi-engine) stats.
+func (l *Latency) Merge(o Latency) {
+	for b := range l.Buckets {
+		l.Buckets[b] += o.Buckets[b]
+	}
+}
+
+// Count returns the number of recorded samples.
+func (l Latency) Count() uint64 {
+	var n uint64
+	for _, b := range l.Buckets {
+		n += b
+	}
+	return n
+}
+
+// Histogram converts the snapshot into a stats.Histogram over the
+// bucket indices — the bridge onto the shared percentile/merge
+// machinery (snapshot-side only; never on the record path).
+func (l Latency) Histogram() *stats.Histogram {
+	h := stats.NewHistogram(stats.NumLog2Buckets - 1)
+	for b, n := range l.Buckets {
+		if n > 0 {
+			h.AddN(b, n)
+		}
+	}
+	return h
+}
+
+// Percentile returns the p-th (0..1) latency percentile as a duration,
+// reported at its bucket's inclusive upper bound (power-of-two
+// resolution, never under-reported). 0 for an empty snapshot.
+func (l Latency) Percentile(p float64) time.Duration {
+	if l.Count() == 0 {
+		return 0
+	}
+	return time.Duration(stats.Log2BucketCeil(l.Histogram().Percentile(p)))
+}
+
+// Percentiles returns the p50/p99/p999 trio every per-class report
+// prints, computed over one shared histogram conversion.
+func (l Latency) Percentiles() (p50, p99, p999 time.Duration) {
+	if l.Count() == 0 {
+		return 0, 0, 0
+	}
+	h := l.Histogram()
+	return time.Duration(stats.Log2BucketCeil(h.Percentile(0.50))),
+		time.Duration(stats.Log2BucketCeil(h.Percentile(0.99))),
+		time.Duration(stats.Log2BucketCeil(h.Percentile(0.999)))
+}
+
+// String renders the trio ("p50=12µs p99=410µs p999=1.0ms (1234
+// samples)").
+func (l Latency) String() string {
+	p50, p99, p999 := l.Percentiles()
+	return fmt.Sprintf("p50=%v p99=%v p999=%v (%d samples)", p50, p99, p999, l.Count())
+}
+
+// ClassStats is one class's slice of an engine stats snapshot: the
+// submission counters that say how much traffic the class offered and
+// what the engine did with it, plus the latency distribution.
+//
+//cuckoo:stats merge=Merge
+type ClassStats struct {
+	// SubmittedAccesses / CompletedAccesses count the class's accesses
+	// accepted into queues and applied to the directory.
+	SubmittedAccesses uint64
+	CompletedAccesses uint64
+	// Rejected counts the class's submissions refused with a queue-full
+	// error (per-class backpressure: the class's own ring was full, or
+	// an injected class-keyed saturation fired).
+	Rejected uint64
+	// Shed counts the class's submissions refused before enqueue
+	// because their context deadline had already expired.
+	Shed uint64
+	// Latency is the class's enqueue-to-completion distribution, merged
+	// across the engine's per-drainer recorders.
+	Latency Latency
+}
+
+// Merge accumulates another class snapshot into s. Every field must be
+// consumed here; the statsmerge analyzer enforces it.
+func (s *ClassStats) Merge(o ClassStats) {
+	s.SubmittedAccesses += o.SubmittedAccesses
+	s.CompletedAccesses += o.CompletedAccesses
+	s.Rejected += o.Rejected
+	s.Shed += o.Shed
+	s.Latency.Merge(o.Latency)
+}
+
+// recorderPad keeps each recorder's counters on their own cache lines:
+// recorders sit in a per-drainer slice, and one drainer's single-writer
+// atomic adds must not false-share with its neighbours'.
+type recorderPad [64]byte
+
+// Recorder is one drainer's latency recorder: a padded block of
+// per-class power-of-two buckets. Exactly one drainer writes it (plain
+// atomic adds, no CAS loops, no locks); snapshot readers race against
+// that writer safely through the same atomics. The record path is
+// allocation-free and annotated //cuckoo:hotpath — it runs once per
+// completed request inside the engine's drain loop.
+type Recorder struct {
+	_       recorderPad
+	buckets [NumClasses][stats.NumLog2Buckets]atomic.Uint64
+	_       recorderPad
+}
+
+// Record adds one enqueue-to-completion sample for class c.
+//
+//cuckoo:hotpath
+func (r *Recorder) Record(c Class, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.buckets[c][stats.Log2Bucket(uint64(d))].Add(1)
+}
+
+// Snapshot returns class c's current distribution. It is safe to call
+// while the owning drainer records (the snapshot is per-bucket atomic,
+// not globally consistent — fine for monotonically-growing counts).
+func (r *Recorder) Snapshot(c Class) Latency {
+	var l Latency
+	for b := range l.Buckets {
+		l.Buckets[b] = r.buckets[c][b].Load()
+	}
+	return l
+}

@@ -1,0 +1,168 @@
+// Package qos is the engine's quality-of-service vocabulary: priority
+// classes a submission carries, the drain-scheduling policies that
+// arbitrate between them, and the padded per-drainer latency recorders
+// that make per-class tail latency a measured property instead of a
+// hope.
+//
+// The cuckoo directory's scalability story (Ferdman et al., HPCA 2011)
+// is about serving coherence traffic at many-core scale; the
+// Phase-Priority line of work (PAPERS.md) shows that prioritizing
+// requests by class measurably cuts contention-induced latency. This
+// package applies that idea where heavy multi-tenant traffic actually
+// queues — the DirectoryEngine's per-drainer rings: a latency-critical
+// foreground access and a bulk background scan stop sharing one FIFO
+// and one backpressure policy, and under saturation the background
+// class sheds first while the foreground tail holds.
+//
+// The package is deliberately small and engine-agnostic: classes and
+// scheduling parameters here, queue mechanics in internal/engine,
+// bucketing arithmetic in internal/stats. Everything on the record path
+// is allocation-free and annotated //cuckoo:hotpath (the cuckoolint
+// escape guard enforces it).
+package qos
+
+import "fmt"
+
+// Class is a submission's priority class. Lower values are more
+// latency-critical; the engine drains them preferentially and sheds
+// them last.
+type Class uint8
+
+// The engine's priority classes. NumClasses bounds the per-drainer ring
+// fan-out, so it is a small fixed constant rather than an open set;
+// what IS user-definable is each class's drain weight (Sched.Weights).
+const (
+	// Foreground is the latency-critical class — and the default: every
+	// class-less submission path (Submit, SubmitBatch, ...) uses it, so
+	// existing clients keep their behaviour.
+	Foreground Class = iota
+	// Background is the bulk class: scans, refills, migrations driven
+	// from outside. It drains with lower priority and sheds first under
+	// saturation.
+	Background
+
+	// NumClasses is the number of priority classes.
+	NumClasses = 2
+)
+
+// String names the class ("fg", "bg").
+func (c Class) String() string {
+	switch c {
+	case Foreground:
+		return "fg"
+	case Background:
+		return "bg"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is a defined class.
+func (c Class) Valid() bool { return c < NumClasses }
+
+// Policy selects how a drainer arbitrates between its per-class rings.
+type Policy uint8
+
+// Drain policies.
+const (
+	// StrictPriority (the default) always serves the lowest-numbered
+	// non-empty ring: Foreground work never waits behind Background
+	// work. Under sustained foreground overload the background ring can
+	// starve — which is exactly the contract: background sheds first.
+	StrictPriority Policy = iota
+	// WeightedDeficit is deficit-weighted round-robin: each class earns
+	// Weights[c]*Quantum accesses of credit per refill and classes are
+	// served (in priority order) while they hold credit, so background
+	// traffic keeps a configurable trickle even under foreground load.
+	WeightedDeficit
+)
+
+// String names the policy ("strict", "wdrr").
+func (p Policy) String() string {
+	switch p {
+	case StrictPriority:
+		return "strict"
+	case WeightedDeficit:
+		return "wdrr"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy parses a policy name as printed by String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "strict":
+		return StrictPriority, nil
+	case "wdrr", "weighted":
+		return WeightedDeficit, nil
+	default:
+		return 0, fmt.Errorf("qos: unknown drain policy %q (want strict or wdrr)", s)
+	}
+}
+
+// Default scheduling parameters, applied where Sched leaves a field
+// zero.
+const (
+	// DefaultQuantum is the credit refill unit in accesses: each refill
+	// grants class c Weights[c]*Quantum accesses. Comparable to the
+	// engine's run-coalescing bound so one refill spans a few runs.
+	DefaultQuantum = 256
+	// DefaultForegroundWeight / DefaultBackgroundWeight are the 8:1
+	// split WeightedDeficit uses when no weights are given.
+	DefaultForegroundWeight = 8
+	DefaultBackgroundWeight = 1
+)
+
+// Sched parameterizes the engine's class-aware drain. The zero value is
+// usable: strict priority (weights are then irrelevant).
+type Sched struct {
+	// Policy selects strict-priority or weighted-deficit arbitration.
+	Policy Policy
+	// Weights is each class's relative drain share under WeightedDeficit
+	// (ignored by StrictPriority). Zero-valued weights take the
+	// defaults (8:1 foreground:background).
+	Weights [NumClasses]int
+	// Quantum is the credit refill unit in accesses (0 =
+	// DefaultQuantum).
+	Quantum int
+}
+
+// WithDefaults returns s with zero fields defaulted.
+func (s Sched) WithDefaults() Sched {
+	if s.Weights == ([NumClasses]int{}) {
+		s.Weights = [NumClasses]int{Foreground: DefaultForegroundWeight, Background: DefaultBackgroundWeight}
+	}
+	if s.Quantum <= 0 {
+		s.Quantum = DefaultQuantum
+	}
+	return s
+}
+
+// Validate rejects malformed scheduling parameters (unknown policy,
+// non-positive weight or quantum) with a helpful error.
+func (s Sched) Validate() error {
+	if s.Policy > WeightedDeficit {
+		return fmt.Errorf("qos: unknown drain policy %d", s.Policy)
+	}
+	if s.Quantum < 0 {
+		return fmt.Errorf("qos: negative quantum %d", s.Quantum)
+	}
+	if s.Weights != ([NumClasses]int{}) {
+		for c, w := range s.Weights {
+			if w <= 0 {
+				return fmt.Errorf("qos: class %s weight must be positive (got %d)", Class(c), w)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the effective schedule ("strict", "wdrr 8:1 q=256").
+func (s Sched) String() string {
+	s = s.WithDefaults()
+	if s.Policy == StrictPriority {
+		return s.Policy.String()
+	}
+	return fmt.Sprintf("%s %d:%d q=%d", s.Policy, s.Weights[Foreground], s.Weights[Background], s.Quantum)
+}

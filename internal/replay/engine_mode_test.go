@@ -7,6 +7,7 @@ import (
 
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/engine"
+	"cuckoodir/internal/qos"
 )
 
 // TestEngineModeMatchesDirect: the engine path applies exactly the same
@@ -154,6 +155,70 @@ func TestRunMultiSourceError(t *testing.T) {
 	}
 	if res.Dropped == 0 {
 		t.Fatal("the 300-record source must drop its partial batch")
+	}
+}
+
+// TestBackgroundMix: Options.Background steers that fraction of
+// batches into the Background class via the debt accumulator — both
+// classes see traffic in the report, their access counts sum to the
+// stream, and the result line prints the per-class rows.
+func TestBackgroundMix(t *testing.T) {
+	const n = 20_000
+	d := testDir(t, 8)
+	res, err := Run(d, Synthesize(testProfile(t), testCores, 5, n), Options{
+		BatchSize:  100,
+		Via:        ViaEngine,
+		Background: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != n {
+		t.Fatalf("applied %d, want %d", res.Accesses, n)
+	}
+	fg, bg := res.Classes[qos.Foreground], res.Classes[qos.Background]
+	if fg.SubmittedAccesses+bg.SubmittedAccesses != n {
+		t.Fatalf("class submissions %d+%d != %d", fg.SubmittedAccesses, bg.SubmittedAccesses, n)
+	}
+	// 25% of 200 batches, deterministically: the debt accumulator fires
+	// every 4th batch.
+	if want := uint64(n / 4); bg.SubmittedAccesses != want {
+		t.Fatalf("background accesses = %d, want %d", bg.SubmittedAccesses, want)
+	}
+	if bg.CompletedAccesses != bg.SubmittedAccesses || fg.CompletedAccesses != fg.SubmittedAccesses {
+		t.Fatalf("classes not fully drained: fg %d/%d bg %d/%d",
+			fg.CompletedAccesses, fg.SubmittedAccesses, bg.CompletedAccesses, bg.SubmittedAccesses)
+	}
+	if fg.Samples == 0 || bg.Samples == 0 || fg.P50 <= 0 || bg.P50 <= 0 {
+		t.Fatalf("per-class latency missing: fg %+v bg %+v", fg, bg)
+	}
+	s := res.String()
+	if !strings.Contains(s, "fg p50=") || !strings.Contains(s, "bg p50=") {
+		t.Fatalf("String() hides the per-class rows: %q", s)
+	}
+}
+
+// TestBackgroundValidation: the class mix is an engine-path feature and
+// a fraction — the direct path and out-of-range values are rejected.
+func TestBackgroundValidation(t *testing.T) {
+	d := testDir(t, 2)
+	src := func() Source { return Synthesize(testProfile(t), testCores, 1, 100) }
+	if _, err := Run(d, src(), Options{Background: 0.5}); err == nil {
+		t.Fatal("Background accepted on the direct path")
+	}
+	for _, bad := range []float64{-0.1, 1.5} {
+		if _, err := Run(d, src(), Options{Via: ViaEngine, Background: bad}); err == nil {
+			t.Fatalf("Background=%v accepted", bad)
+		}
+	}
+	// Background=1 is a valid degenerate mix: everything Background.
+	res, err := Run(d, src(), Options{Via: ViaEngine, Background: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes[qos.Background].SubmittedAccesses != 100 {
+		t.Fatalf("all-background run submitted %d bg accesses, want 100",
+			res.Classes[qos.Background].SubmittedAccesses)
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 
 	"cuckoodir/internal/directory"
 	"cuckoodir/internal/engine"
+	"cuckoodir/internal/qos"
 	"cuckoodir/internal/trace"
 	"cuckoodir/internal/workload"
 )
@@ -133,8 +134,18 @@ type Options struct {
 	// Via selects the submission path.
 	Via Via
 	// Engine configures the ViaEngine path (drainers, queue depth,
-	// backpressure); the zero value takes the engine's defaults.
+	// backpressure, QoS schedule); the zero value takes the engine's
+	// defaults.
 	Engine engine.Options
+	// Background is the fraction (0..1) of batches submitted as
+	// qos.Background on the engine path — the class-mix knob for driving
+	// a foreground/background workload through the engine's QoS
+	// scheduler. Batches alternate classes deterministically (a debt
+	// accumulator, not a coin flip), so a run's class mix is exact and
+	// reproducible. 0 (the default) submits everything Foreground; the
+	// direct path rejects a non-zero value (ApplyShard has no queues to
+	// schedule).
+	Background float64
 }
 
 // DefaultBatchSize is the records-per-batch default: large enough that
@@ -150,6 +161,19 @@ func (o Options) withDefaults() Options {
 		o.BatchSize = DefaultBatchSize
 	}
 	return o
+}
+
+// validateBackground rejects an out-of-range class mix, or any mix at
+// all on the direct path (ApplyShard has no queues for a scheduler to
+// arbitrate).
+func (o Options) validateBackground() error {
+	if o.Background < 0 || o.Background > 1 {
+		return fmt.Errorf("replay: Background fraction %v out of range [0, 1]", o.Background)
+	}
+	if o.Background > 0 && o.Via != ViaEngine {
+		return fmt.Errorf("replay: Background class mix requires Options.Via == ViaEngine (the %s path has no QoS queues)", ViaApplyShard)
+	}
+	return nil
 }
 
 // Result reports one replay run.
@@ -200,6 +224,31 @@ type Result struct {
 	Erred        uint64
 	GrowFailures uint64
 	GrowError    string
+	// Classes holds one per-class QoS report per priority class on the
+	// engine path (all-zero on the direct path): what each class
+	// submitted and completed, what the engine refused, and the
+	// enqueue-to-completion percentiles its drainers recorded.
+	Classes [qos.NumClasses]ClassReport
+}
+
+// ClassReport is one priority class's row in an engine-path Result.
+type ClassReport struct {
+	// Class identifies the row.
+	Class qos.Class
+	// SubmittedAccesses / CompletedAccesses count the class's accesses
+	// accepted into the engine and applied to the directory.
+	SubmittedAccesses uint64
+	CompletedAccesses uint64
+	// Rejected counts queue-full refusals, Shed pre-enqueue deadline
+	// refusals — per-class backpressure made visible.
+	Rejected uint64
+	Shed     uint64
+	// Samples counts the latency samples behind the percentiles below
+	// (one per completed request).
+	Samples uint64
+	// P50/P99/P999 are enqueue-to-completion percentiles at power-of-two
+	// resolution.
+	P50, P99, P999 time.Duration
 }
 
 // Throughput returns replayed accesses per second.
@@ -268,6 +317,22 @@ func (r Result) String() string {
 	if r.Shed > 0 || r.Erred > 0 {
 		s += fmt.Sprintf("; %d submissions shed, %d accesses erred", r.Shed, r.Erred)
 	}
+	// Per-class QoS rows (engine path): latency percentiles per class,
+	// plus what the class-aware backpressure refused. A class that saw no
+	// traffic prints nothing.
+	for _, c := range r.Classes {
+		if c.Samples == 0 && c.SubmittedAccesses == 0 && c.Rejected == 0 && c.Shed == 0 {
+			continue
+		}
+		s += fmt.Sprintf("; %s p50=%v p99=%v p999=%v (%d samples", c.Class, c.P50, c.P99, c.P999, c.Samples)
+		if c.Rejected > 0 {
+			s += fmt.Sprintf(", %d rejected", c.Rejected)
+		}
+		if c.Shed > 0 {
+			s += fmt.Sprintf(", %d shed", c.Shed)
+		}
+		s += ")"
+	}
 	if r.Dropped > 0 {
 		s += fmt.Sprintf("; %d records read but DROPPED un-applied (source error)", r.Dropped)
 	}
@@ -297,6 +362,9 @@ func (r Result) String() string {
 // records flow through an asynchronous DirectoryEngine: see runEngine.
 func Run(dir *directory.ShardedDirectory, src Source, o Options) (Result, error) {
 	o = o.withDefaults()
+	if err := o.validateBackground(); err != nil {
+		return Result{}, err
+	}
 	if o.Via == ViaEngine {
 		return runEngine(dir, src, o)
 	}
@@ -400,7 +468,7 @@ func runEngine(dir *directory.ShardedDirectory, src Source, o Options) (Result, 
 		BatchSize: o.BatchSize,
 	}
 	start := time.Now()
-	err = produce(eng, src, dir.NumCaches(), o.BatchSize, &res)
+	err = produce(eng, src, dir.NumCaches(), o.BatchSize, o.Background, &res)
 	if cerr := eng.Close(); err == nil {
 		err = cerr
 	}
@@ -421,6 +489,21 @@ func captureEngineHealth(eng *engine.Engine, res *Result) {
 	if h := eng.Health(); h.LastGrowError != nil {
 		res.GrowError = h.LastGrowError.Error()
 	}
+	for c := range st.Classes {
+		cs := st.Classes[c]
+		p50, p99, p999 := cs.Latency.Percentiles()
+		res.Classes[c] = ClassReport{
+			Class:             qos.Class(c),
+			SubmittedAccesses: cs.SubmittedAccesses,
+			CompletedAccesses: cs.CompletedAccesses,
+			Rejected:          cs.Rejected,
+			Shed:              cs.Shed,
+			Samples:           cs.Latency.Count(),
+			P50:               p50,
+			P99:               p99,
+			P999:              p999,
+		}
+	}
 }
 
 // recordAccess converts one trace record to the directory access both
@@ -440,15 +523,24 @@ func recordAccess(rec trace.Record, numCaches int) (directory.Access, error) {
 
 // produce reads src to EOF, submitting fixed-size detached batches to
 // eng and tallying into res. On an error the pending partial batch is
-// counted as dropped.
-func produce(eng *engine.Engine, src Source, numCaches, batchSize int, res *Result) error {
+// counted as dropped. The background fraction is paid down with a debt
+// accumulator — every 1.0 of accumulated debt makes the next batch
+// Background — so the class mix is exact over any run length and
+// identical across runs.
+func produce(eng *engine.Engine, src Source, numCaches, batchSize int, background float64, res *Result) error {
 	ctx := context.Background()
 	batch := make([]directory.Access, 0, batchSize)
+	bgDebt := 0.0
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := eng.SubmitDetached(ctx, batch); err != nil {
+		class := qos.Foreground
+		if bgDebt += background; bgDebt >= 1 {
+			bgDebt--
+			class = qos.Background
+		}
+		if err := eng.SubmitDetachedClass(ctx, class, batch); err != nil {
 			return err
 		}
 		res.Accesses += uint64(len(batch))
@@ -491,6 +583,9 @@ func RunMulti(dir *directory.ShardedDirectory, srcs []Source, o Options) (Result
 	if o.Via != ViaEngine {
 		return Result{}, fmt.Errorf("replay: RunMulti requires Options.Via == ViaEngine (the %s pipeline is single-producer)", ViaApplyShard)
 	}
+	if err := o.validateBackground(); err != nil {
+		return Result{}, err
+	}
 	if len(srcs) == 0 {
 		return Result{}, fmt.Errorf("replay: RunMulti needs at least one source")
 	}
@@ -513,7 +608,7 @@ func RunMulti(dir *directory.ShardedDirectory, srcs []Source, o Options) (Result
 		wg.Add(1)
 		go func(i int, src Source) {
 			defer wg.Done()
-			errs[i] = produce(eng, src, numCaches, o.BatchSize, &subResults[i])
+			errs[i] = produce(eng, src, numCaches, o.BatchSize, o.Background, &subResults[i])
 		}(i, src)
 	}
 	wg.Wait()

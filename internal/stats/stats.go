@@ -9,6 +9,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -146,6 +147,37 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 	h.total += other.total
 	h.sum += other.sum
+}
+
+// NumLog2Buckets is the bucket count of the power-of-two bucketing
+// Log2Bucket implements: bucket 0 holds the value 0 and bucket b > 0
+// holds the values in [2^(b-1), 2^b - 1], so 65 buckets cover every
+// uint64. It is the bucketing the engine's per-class latency recorders
+// use: nanosecond latencies collapse into 65 counters per class with
+// one bit-length instruction per sample, and a Histogram over the
+// bucket INDICES (AddN per bucket, Merge across recorders, Percentile)
+// yields tail percentiles with power-of-two resolution — exactly what a
+// p99/p999 under overload needs, at zero hot-path allocation.
+const NumLog2Buckets = 65
+
+// Log2Bucket returns the power-of-two bucket index of v: 0 for 0,
+// otherwise the bit length of v (bucket b covers [2^(b-1), 2^b - 1]).
+//
+//cuckoo:hotpath
+func Log2Bucket(v uint64) int { return bits.Len64(v) }
+
+// Log2BucketCeil returns the largest value bucket b holds — the
+// inclusive upper bound Percentile results on bucketed histograms
+// convert back through (a conservative, never-under-reporting bound).
+func Log2BucketCeil(b int) uint64 {
+	switch {
+	case b <= 0:
+		return 0
+	case b >= 64:
+		return math.MaxUint64
+	default:
+		return 1<<uint(b) - 1
+	}
 }
 
 // Mean accumulates a running arithmetic mean without storing samples.

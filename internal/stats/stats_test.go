@@ -132,6 +132,114 @@ func TestHistogramMeanBounds(t *testing.T) {
 	}
 }
 
+func TestLog2Bucket(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+		{1<<63 - 1, 63}, {1 << 63, 64}, {math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := Log2Bucket(c.v); got != c.want {
+			t.Errorf("Log2Bucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLog2BucketCeil(t *testing.T) {
+	cases := []struct {
+		b    int
+		want uint64
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 3}, {3, 7}, {10, 1023},
+		{64, math.MaxUint64}, {99, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := Log2BucketCeil(c.b); got != c.want {
+			t.Errorf("Log2BucketCeil(%d) = %d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+// Property: the bucket round-trip never under-reports — every value is
+// at most its bucket's inclusive upper bound, and above the previous
+// bucket's.
+func TestLog2BucketRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := Log2Bucket(v)
+		return v <= Log2BucketCeil(b) && (b == 0 || v > Log2BucketCeil(b-1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// histFrom builds a histogram over log2-bucket indices from raw sample
+// values — the shape the engine's latency pipeline produces.
+func histFrom(vals []uint16) *Histogram {
+	h := NewHistogram(NumLog2Buckets - 1)
+	for _, v := range vals {
+		h.Add(Log2Bucket(uint64(v)))
+	}
+	return h
+}
+
+// Property: Merge is associative and commutative — per-drainer
+// snapshots can be folded in any order without changing counts, sums or
+// any percentile.
+func TestHistogramMergeAssociative(t *testing.T) {
+	f := func(xs, ys, zs []uint16) bool {
+		// (x + y) + z
+		l := histFrom(xs)
+		l.Merge(histFrom(ys))
+		l.Merge(histFrom(zs))
+		// z + (y + x)
+		r := histFrom(zs)
+		yx := histFrom(ys)
+		yx.Merge(histFrom(xs))
+		r.Merge(yx)
+		if l.Count() != r.Count() || l.Mean() != r.Mean() {
+			return false
+		}
+		for _, p := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+			if l.Percentile(p) != r.Percentile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are stable under merge fan-in — merging k
+// copies of the same histogram (k drainers observing the same
+// distribution) reports exactly the single-copy percentiles.
+func TestHistogramPercentileStableUnderMerge(t *testing.T) {
+	f := func(vals []uint16, k uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		one := histFrom(vals)
+		merged := histFrom(vals)
+		for i := 0; i < int(k%8); i++ {
+			merged.Merge(one)
+		}
+		for _, p := range []float64{0.5, 0.99, 0.999} {
+			if merged.Percentile(p) != one.Percentile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestMean(t *testing.T) {
 	var m Mean
 	m.Add(1)
